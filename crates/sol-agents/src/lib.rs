@@ -1,0 +1,40 @@
+//! # sol-agents — the three SOL demonstration agents
+//!
+//! Implementations of the agents from paper §5, built on the
+//! [`sol-core`](sol_core) framework, the [`sol-ml`](sol_ml) learners, and the
+//! [`sol-node-sim`](sol_node_sim) substrate:
+//!
+//! * [`overclock`] — **SmartOverclock**: Q-learning CPU overclocking that
+//!   boosts frequency only when the workload benefits.
+//! * [`harvest`] — **SmartHarvest**: cost-sensitive classification that
+//!   predicts near-future CPU demand so idle cores can be loaned out safely.
+//! * [`memory`] — **SmartMemory**: Thompson-sampling access-bit scanning and
+//!   hot/warm/cold page classification for two-tier memory.
+//!
+//! Each module provides a `Model`/`Actuator` pair, a `*_schedule()` helper
+//! matching the paper's control-loop timing, configuration structs with
+//! per-safeguard toggles (so the failure-injection experiments can compare
+//! "with" and "without" variants), and fault-injection flags (broken model).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harvest;
+pub mod memory;
+pub mod overclock;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::harvest::{
+        blocking_harvest_schedule, harvest_schedule, smart_harvest, CoreDemandPrediction,
+        HarvestActuator, HarvestConfig, HarvestModel,
+    };
+    pub use crate::memory::{
+        memory_schedule, smart_memory, BatchClass, MemoryActuator, MemoryConfig, MemoryModel,
+        PlacementPlan, ScanRound, SCAN_INTERVALS,
+    };
+    pub use crate::overclock::{
+        blocking_overclock_schedule, overclock_schedule, smart_overclock, FrequencyDecision,
+        OverclockActuator, OverclockConfig, OverclockModel,
+    };
+}

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the framework and ML kernels: the per-epoch
+//! cost an agent adds to a node (paper §6.1 notes the runtime requires very
+//! few resources).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sol_ml::cost_sensitive::{CostSensitiveClassifier, CostSensitiveExample};
+use sol_ml::features::DistributionalFeatures;
+use sol_ml::qlearning::{QConfig, QLearner};
+use sol_ml::thompson::ThompsonSampler;
+
+fn ml_kernels(c: &mut Criterion) {
+    c.bench_function("qlearning_choose_and_update", |b| {
+        let mut q = QLearner::with_seed(QConfig::new(12, 3), 1);
+        b.iter(|| {
+            let a = q.choose_action(5).action;
+            q.update(5, a, 1.0, 6);
+        });
+    });
+
+    c.bench_function("cost_sensitive_update_and_predict", |b| {
+        let mut clf = CostSensitiveClassifier::new(9, 9, 0.05);
+        let example = CostSensitiveExample::from_ordinal_truth(vec![0.5; 9], 4, 9, 8.0, 1.0);
+        b.iter(|| {
+            clf.update(&example);
+            clf.predict(&example.features)
+        });
+    });
+
+    c.bench_function("thompson_select_and_record", |b| {
+        let mut bandit = ThompsonSampler::with_seed(6, 1);
+        b.iter(|| {
+            let arm = bandit.select();
+            bandit.record(arm, arm == 2);
+        });
+    });
+
+    c.bench_function("distributional_features_25_samples", |b| {
+        let samples: Vec<f64> = (0..25).map(|i| (i as f64 * 0.37).sin().abs() * 8.0).collect();
+        b.iter(|| DistributionalFeatures::extract(&samples));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = ml_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table 1: the taxonomy of production node agents in Azure.
+
+use sol_bench::report::{pct, print_table};
+use sol_core::taxonomy;
+
+fn main() {
+    let rows: Vec<Vec<String>> = taxonomy::table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.class.name().to_string(),
+                r.count.to_string(),
+                r.description.to_string(),
+                r.examples.to_string(),
+                if r.benefits_from_learning { "Yes" } else { "No" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: taxonomy of production agents",
+        &["Class", "Count", "Description", "Examples", "Benefit?"],
+        &rows,
+    );
+    println!(
+        "\nTotal agents: {}   Fraction that can benefit from learning: {}",
+        taxonomy::total_agents(),
+        pct(taxonomy::learning_benefit_fraction())
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 2: examples of on-node learning resource-control agents.
+
+use sol_bench::report::print_table;
+use sol_core::taxonomy;
+
+fn main() {
+    let rows: Vec<Vec<String>> = taxonomy::table2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.agent.to_string(),
+                r.goal.to_string(),
+                r.action.to_string(),
+                r.frequency.to_string(),
+                r.inputs.to_string(),
+                r.model.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: examples of on-node learning resource control agents",
+        &["Agent", "Goal", "Action", "Frequency", "Inputs", "Model"],
+        &rows,
+    );
+}

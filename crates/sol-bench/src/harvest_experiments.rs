@@ -1,0 +1,227 @@
+//! Experiments reproducing Figure 6 (the SmartHarvest safeguard evaluation,
+//! paper §6.3).
+
+use sol_agents::harvest::{
+    blocking_harvest_schedule, harvest_schedule, smart_harvest, HarvestConfig,
+};
+use sol_core::prelude::*;
+use sol_core::schedule::Schedule;
+use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+use sol_node_sim::shared::Shared;
+
+/// The two latency-sensitive primary workloads used by Figure 6.
+pub fn workloads() -> Vec<BurstyService> {
+    vec![BurstyService::image_dnn(), BurstyService::moses()]
+}
+
+/// Outcome of one SmartHarvest run.
+#[derive(Debug, Clone)]
+pub struct HarvestOutcome {
+    /// Primary workload name.
+    pub workload: String,
+    /// Scenario ("invalid data", "broken model", "delayed predictions").
+    pub scenario: String,
+    /// Variant within the scenario ("with safeguard", "without safeguard",
+    /// "blocking", "non-blocking").
+    pub variant: String,
+    /// Mean primary-VM latency relative to the no-harvesting baseline.
+    pub normalized_mean_latency: f64,
+    /// P99 primary-VM latency relative to the no-harvesting baseline.
+    pub normalized_p99_latency: f64,
+    /// Fraction of time the primary VM was starved of cores.
+    pub starvation_fraction: f64,
+    /// Core-seconds delivered to the ElasticVM.
+    pub harvested_core_seconds: f64,
+}
+
+fn run_once(
+    service: BurstyService,
+    config: HarvestConfig,
+    schedule: Schedule,
+    horizon: SimDuration,
+    delays_at_bursts: bool,
+) -> (Shared<HarvestNode>, AgentStats) {
+    let node = Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
+    let (model, actuator) = smart_harvest(&node, config);
+    let mut runtime = SimRuntime::new(model, actuator, schedule, node.clone());
+    if delays_at_bursts {
+        // Inject a 1-second Model scheduling delay at every burst start — the
+        // worst case: demand rises exactly while the model cannot run.
+        let mut t = Timestamp::ZERO + service.burst_period;
+        while t < Timestamp::ZERO + horizon {
+            runtime.delay_model_at(t, SimDuration::from_secs(1));
+            t = t + service.burst_period * 4;
+        }
+    }
+    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    (node, report.stats)
+}
+
+fn baseline_latencies(service: &BurstyService, horizon: SimDuration) -> (f64, f64) {
+    // No harvesting at all: the primary VM keeps every core.
+    let node =
+        Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
+    node.with(|n| n.advance_to(Timestamp::ZERO + horizon));
+    node.with(|n| (n.mean_latency_ms(), n.p99_latency_ms().max(n.mean_latency_ms())))
+}
+
+fn outcome(
+    service: &BurstyService,
+    scenario: &str,
+    variant: &str,
+    node: &Shared<HarvestNode>,
+    baseline: (f64, f64),
+) -> HarvestOutcome {
+    let (mean, p99, starved, harvested) = node.with(|n| {
+        (n.mean_latency_ms(), n.p99_latency_ms(), n.starvation_fraction(), n.harvested_core_seconds())
+    });
+    HarvestOutcome {
+        workload: service.name().to_string(),
+        scenario: scenario.to_string(),
+        variant: variant.to_string(),
+        normalized_mean_latency: mean / baseline.0.max(1e-12),
+        normalized_p99_latency: p99 / baseline.1.max(1e-12),
+        starvation_fraction: starved,
+        harvested_core_seconds: harvested,
+    }
+}
+
+/// Figure 6, left: the data-validation safeguard. Without it, the model
+/// learns from samples taken while the primary VM is saturated and
+/// systematically under-predicts demand.
+pub fn fig6_invalid_data(horizon: SimDuration) -> Vec<HarvestOutcome> {
+    let mut rows = Vec::new();
+    for service in workloads() {
+        let baseline = baseline_latencies(&service, horizon);
+        for (variant, validate) in [("with safeguard", true), ("without safeguard", false)] {
+            let config = HarvestConfig { validate_data: validate, ..HarvestConfig::default() };
+            let (node, _) =
+                run_once(service.clone(), config, harvest_schedule(), horizon, false);
+            rows.push(outcome(&service, "invalid data", variant, &node, baseline));
+        }
+    }
+    rows
+}
+
+/// Figure 6, middle: the model safeguard against a broken model that
+/// consistently under-predicts the primary VM's demand.
+pub fn fig6_broken_model(horizon: SimDuration) -> Vec<HarvestOutcome> {
+    let mut rows = Vec::new();
+    for service in workloads() {
+        let baseline = baseline_latencies(&service, horizon);
+        for (variant, safeguards) in [("with safeguard", true), ("without safeguard", false)] {
+            let config = if safeguards {
+                HarvestConfig { broken_model: true, ..HarvestConfig::default() }
+            } else {
+                HarvestConfig { broken_model: true, ..HarvestConfig::without_safeguards() }
+            };
+            let (node, _) =
+                run_once(service.clone(), config, harvest_schedule(), horizon, false);
+            rows.push(outcome(&service, "broken model", variant, &node, baseline));
+        }
+    }
+    rows
+}
+
+/// Figure 6, right: 1-second Model scheduling delays injected while the
+/// primary VM's demand is rising, comparing SOL's non-blocking Actuator to a
+/// blocking one.
+pub fn fig6_delayed_predictions(horizon: SimDuration) -> Vec<HarvestOutcome> {
+    let mut rows = Vec::new();
+    for service in workloads() {
+        let baseline = baseline_latencies(&service, horizon);
+        for (variant, schedule, config) in [
+            ("non-blocking", harvest_schedule(), HarvestConfig::default()),
+            // A blocking Actuator is stuck waiting on the prediction queue, so
+            // it cannot run its own safeguard either; disable it to model the
+            // strawman faithfully.
+            (
+                "blocking",
+                blocking_harvest_schedule(),
+                HarvestConfig { actuator_safeguard: false, ..HarvestConfig::default() },
+            ),
+        ] {
+            let (node, _) = run_once(service.clone(), config, schedule, horizon, true);
+            rows.push(outcome(&service, "delayed predictions", variant, &node, baseline));
+        }
+    }
+    rows
+}
+
+/// All three panels of Figure 6.
+pub fn fig6(horizon: SimDuration) -> Vec<HarvestOutcome> {
+    let mut rows = fig6_invalid_data(horizon);
+    rows.extend(fig6_broken_model(horizon));
+    rows.extend(fig6_delayed_predictions(horizon));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn invalid_data_safeguard_reduces_latency_impact() {
+        let rows = fig6_invalid_data(SimDuration::from_secs(60));
+        for service in ["image-dnn", "moses"] {
+            let with = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "with safeguard")
+                .unwrap();
+            let without = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "without safeguard")
+                .unwrap();
+            // The validation safeguard must not make things worse, and both
+            // variants must keep the latency impact bounded; the full-length
+            // bench run reports the actual gap.
+            assert!(
+                without.normalized_mean_latency >= with.normalized_mean_latency * 0.95,
+                "{service}: {} vs {}",
+                without.normalized_mean_latency,
+                with.normalized_mean_latency
+            );
+            assert!(with.normalized_mean_latency < 1.5);
+            assert!(with.harvested_core_seconds > 10.0);
+        }
+    }
+
+    #[test]
+    fn broken_model_safeguard_reduces_starvation() {
+        let rows = fig6_broken_model(SHORT);
+        for service in ["image-dnn", "moses"] {
+            let with = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "with safeguard")
+                .unwrap();
+            let without = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "without safeguard")
+                .unwrap();
+            assert!(without.starvation_fraction > 1.5 * with.starvation_fraction.max(0.001));
+        }
+    }
+
+    #[test]
+    fn non_blocking_actuator_beats_blocking_under_delays() {
+        let rows = fig6_delayed_predictions(SHORT);
+        for service in ["image-dnn", "moses"] {
+            let non_blocking = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "non-blocking")
+                .unwrap();
+            let blocking = rows
+                .iter()
+                .find(|r| r.workload == service && r.variant == "blocking")
+                .unwrap();
+            assert!(
+                blocking.normalized_mean_latency >= non_blocking.normalized_mean_latency,
+                "{service}: blocking {} vs non-blocking {}",
+                blocking.normalized_mean_latency,
+                non_blocking.normalized_mean_latency
+            );
+        }
+    }
+}

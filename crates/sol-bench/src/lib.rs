@@ -1,0 +1,26 @@
+//! # sol-bench — the experiment harness
+//!
+//! One module per group of paper experiments. Each figure or table of the
+//! paper's evaluation has a bench target (`cargo bench -p sol-bench`) that
+//! regenerates the corresponding rows or series by calling into these
+//! modules:
+//!
+//! | Target | Paper artifact | Module |
+//! |---|---|---|
+//! | `table1`, `table2` | Tables 1 and 2 | [`sol_core::taxonomy`] |
+//! | `fig1` … `fig5` | Figures 1–5 (SmartOverclock) | [`overclock_experiments`] |
+//! | `fig6` | Figure 6 (SmartHarvest) | [`harvest_experiments`] |
+//! | `fig7`, `fig8` | Figures 7–8 (SmartMemory) | [`memory_experiments`] |
+//! | `ablation` | design-choice ablations | [`overclock_experiments`] |
+//! | `micro` | framework/ML micro-benchmarks (Criterion) | — |
+//!
+//! Experiments run on the deterministic simulation runtime, so the printed
+//! numbers are reproducible run to run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harvest_experiments;
+pub mod memory_experiments;
+pub mod overclock_experiments;
+pub mod report;

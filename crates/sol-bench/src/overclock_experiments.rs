@@ -1,0 +1,413 @@
+//! Experiments reproducing Figures 1–5 (the SmartOverclock evaluation,
+//! paper §6.2).
+
+use sol_agents::overclock::{
+    blocking_overclock_schedule, overclock_schedule, smart_overclock, OverclockConfig,
+};
+use sol_core::prelude::*;
+use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+use sol_node_sim::shared::Shared;
+use sol_node_sim::workload::{OverclockWorkloadKind, SyntheticBatch};
+
+/// Number of cores used by the overclocking experiments.
+const CORES: usize = 8;
+
+fn make_node(kind: OverclockWorkloadKind) -> Shared<CpuNode> {
+    Shared::new(CpuNode::new(kind.build(CORES), CpuNodeConfig { cores: CORES, ..Default::default() }))
+}
+
+/// Outcome of running one overclocking policy on one workload.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name ("static 1.5 GHz", "SmartOverclock", ...).
+    pub policy: String,
+    /// Workload performance score (higher is better).
+    pub performance: f64,
+    /// Average node power in watts.
+    pub power_watts: f64,
+}
+
+/// Runs a static-frequency policy: the frequency is set once and never
+/// changes (the baselines of Figure 1).
+pub fn run_static_frequency(
+    kind: OverclockWorkloadKind,
+    freq_ghz: f64,
+    horizon: SimDuration,
+) -> PolicyOutcome {
+    let node = make_node(kind);
+    node.with(|n| {
+        n.set_frequency_ghz(freq_ghz);
+        n.advance_to(Timestamp::ZERO + horizon);
+    });
+    let (performance, power_watts) =
+        node.with(|n| (n.performance().score, n.average_power_watts()));
+    PolicyOutcome {
+        workload: kind.name().to_string(),
+        policy: format!("static {freq_ghz} GHz"),
+        performance,
+        power_watts,
+    }
+}
+
+/// Runs the SmartOverclock agent with the given configuration and returns the
+/// workload outcome plus the agent's runtime statistics.
+pub fn run_smart_overclock(
+    kind: OverclockWorkloadKind,
+    config: OverclockConfig,
+    horizon: SimDuration,
+) -> (PolicyOutcome, AgentStats) {
+    let node = make_node(kind);
+    let (model, actuator) = smart_overclock(&node, config);
+    let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let (performance, power_watts) =
+        node.with(|n| (n.performance().score, n.average_power_watts()));
+    (
+        PolicyOutcome {
+            workload: kind.name().to_string(),
+            policy: "SmartOverclock".to_string(),
+            performance,
+            power_watts,
+        },
+        report.stats,
+    )
+}
+
+/// One row of Figure 1: performance and power normalized to the static
+/// nominal-frequency (1.5 GHz) baseline.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Performance relative to static 1.5 GHz.
+    pub normalized_performance: f64,
+    /// Power relative to static 1.5 GHz.
+    pub normalized_power: f64,
+}
+
+/// Figure 1: SmartOverclock against static frequency policies on the three
+/// workloads.
+pub fn fig1(horizon: SimDuration) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for kind in OverclockWorkloadKind::ALL {
+        let baseline = run_static_frequency(kind, 1.5, horizon);
+        let mut outcomes = vec![baseline.clone()];
+        for freq in [1.9, 2.3] {
+            outcomes.push(run_static_frequency(kind, freq, horizon));
+        }
+        outcomes.push(run_smart_overclock(kind, OverclockConfig::default(), horizon).0);
+        for outcome in outcomes {
+            rows.push(Fig1Row {
+                workload: outcome.workload.clone(),
+                policy: outcome.policy.clone(),
+                normalized_performance: outcome.performance / baseline.performance.max(1e-12),
+                normalized_power: outcome.power_watts / baseline.power_watts.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Figure 2: the effect of invalid IPS readings with and without
+/// the data-validation safeguard, normalized to the fault-free agent.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Fraction of counter samples corrupted.
+    pub bad_data_fraction: f64,
+    /// Whether data validation was enabled.
+    pub validation: bool,
+    /// Performance relative to the fault-free agent.
+    pub normalized_performance: f64,
+    /// Power relative to the fault-free agent.
+    pub normalized_power: f64,
+    /// Samples the agent discarded.
+    pub samples_discarded: u64,
+}
+
+/// Figure 2: data-validation safeguard under injected out-of-range IPS
+/// readings (Synthetic workload).
+pub fn fig2(horizon: SimDuration, bad_fractions: &[f64]) -> Vec<Fig2Row> {
+    let ideal = run_smart_overclock(
+        OverclockWorkloadKind::Synthetic,
+        OverclockConfig::default(),
+        horizon,
+    )
+    .0;
+    let mut rows = Vec::new();
+    for &fraction in bad_fractions {
+        for validation in [true, false] {
+            let node = make_node(OverclockWorkloadKind::Synthetic);
+            node.with(|n| n.set_bad_ips_probability(fraction));
+            let config = OverclockConfig { validate_data: validation, ..Default::default() };
+            let (model, actuator) = smart_overclock(&node, config);
+            let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+            let report = runtime.run_for(horizon).expect("non-empty horizon");
+            let (performance, power) =
+                node.with(|n| (n.performance().score, n.average_power_watts()));
+            rows.push(Fig2Row {
+                bad_data_fraction: fraction,
+                validation,
+                normalized_performance: performance / ideal.performance.max(1e-12),
+                normalized_power: power / ideal.power_watts.max(1e-12),
+                samples_discarded: report.stats.model.samples_discarded,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Figure 3: power and performance impact of a broken model that
+/// always overclocks, with and without the model safeguard.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Whether the model safeguard was enabled.
+    pub model_safeguard: bool,
+    /// Percent increase in power relative to the correctly working agent.
+    pub power_increase_pct: f64,
+    /// Performance relative to the correctly working agent.
+    pub normalized_performance: f64,
+    /// How many predictions were intercepted by the safeguard.
+    pub intercepted_predictions: u64,
+}
+
+/// Figure 3: the model safeguard against a broken model that always selects
+/// the highest frequency.
+pub fn fig3(horizon: SimDuration) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for kind in OverclockWorkloadKind::ALL {
+        let ideal = run_smart_overclock(kind, OverclockConfig::default(), horizon).0;
+        for model_safeguard in [false, true] {
+            let config = OverclockConfig {
+                broken_model: true,
+                model_safeguard,
+                ..OverclockConfig::default()
+            };
+            let (outcome, stats) = run_smart_overclock(kind, config, horizon);
+            rows.push(Fig3Row {
+                workload: kind.name().to_string(),
+                model_safeguard,
+                power_increase_pct: (outcome.power_watts / ideal.power_watts.max(1e-12) - 1.0)
+                    * 100.0,
+                normalized_performance: outcome.performance / ideal.performance.max(1e-12),
+                intercepted_predictions: stats.model.intercepted_predictions,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Figure 4: power cost of a 30-second Model delay at a phase
+/// change, for blocking versus non-blocking Actuators.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// "blocking" or "non-blocking".
+    pub actuator: String,
+    /// Percent increase in power relative to a delay-free run.
+    pub power_increase_pct: f64,
+    /// Number of timeout actions the Actuator took.
+    pub actuation_timeouts: u64,
+}
+
+/// Figure 4: non-blocking versus blocking Actuator under a 30-second Model
+/// scheduling delay injected right as the Synthetic workload goes idle.
+pub fn fig4(horizon: SimDuration) -> Vec<Fig4Row> {
+    // A 15-second batch (at the nominal frequency) arrives every 50 s, so by
+    // the fifth period the agent has learned to overclock it. The delay is
+    // injected while the batch is still processing and lasts well past its
+    // completion: the model goes silent exactly when it would have told the
+    // Actuator that overclocking is no longer useful.
+    let make_workload =
+        || SyntheticBatch::new(SimDuration::from_secs(50), 15.0 * CORES as f64, CORES as f64);
+    let delay_at = Timestamp::from_secs(205);
+    let delay = SimDuration::from_secs(30);
+
+    // Power is compared over the 40-second window starting at the delay, the
+    // phase where a blocking Actuator keeps the cores needlessly overclocked.
+    let window_start = delay_at;
+    let window_end = delay_at + delay + SimDuration::from_secs(10);
+
+    let run = |schedule, inject: bool| {
+        let node = Shared::new(CpuNode::new(
+            Box::new(make_workload()),
+            CpuNodeConfig { cores: CORES, ..Default::default() },
+        ));
+        node.with(|n| n.enable_trace());
+        let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
+        let mut runtime = SimRuntime::new(model, actuator, schedule, node.clone());
+        if inject {
+            runtime.delay_model_at(delay_at, delay);
+        }
+        let report = runtime.run_for(horizon).expect("non-empty horizon");
+        let window_power = node.with(|n| {
+            let pts: Vec<f64> = n
+                .trace()
+                .iter()
+                .filter(|p| p.at >= window_start && p.at < window_end)
+                .map(|p| p.power_watts)
+                .collect();
+            if pts.is_empty() { 0.0 } else { pts.iter().sum::<f64>() / pts.len() as f64 }
+        });
+        (window_power, report.stats)
+    };
+
+    let (baseline_power, _) = run(overclock_schedule(), false);
+    let mut rows = Vec::new();
+    for (name, schedule) in [
+        ("non-blocking", overclock_schedule()),
+        ("blocking", blocking_overclock_schedule()),
+    ] {
+        let (power, stats) = run(schedule, true);
+        rows.push(Fig4Row {
+            actuator: name.to_string(),
+            power_increase_pct: (power / baseline_power.max(1e-12) - 1.0) * 100.0,
+            actuation_timeouts: stats.actuator.actuation_timeouts,
+        });
+    }
+    rows
+}
+
+/// Summary of Figure 5: the Actuator safeguard during a long idle phase.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Whether the Actuator safeguard was enabled.
+    pub actuator_safeguard: bool,
+    /// Average power during the idle phase, in watts.
+    pub idle_power_watts: f64,
+    /// Average power during the active phase, in watts.
+    pub active_power_watts: f64,
+    /// Fraction of idle time spent above the nominal frequency.
+    pub idle_overclocked_fraction: f64,
+    /// Number of times the safeguard tripped.
+    pub safeguard_triggers: u64,
+}
+
+/// Figure 5: the α-based Actuator safeguard disables overclocking during long
+/// idle phases and re-enables it when activity returns.
+///
+/// The workload processes a batch for roughly the first 100 seconds of each
+/// 450-second period and then idles, mimicking a VM that runs periodic data
+/// processing jobs.
+pub fn fig5(horizon: SimDuration) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for actuator_safeguard in [false, true] {
+        let workload =
+            SyntheticBatch::new(SimDuration::from_secs(450), 100.0 * CORES as f64, CORES as f64);
+        let node = Shared::new(CpuNode::new(
+            Box::new(workload),
+            CpuNodeConfig { cores: CORES, ..Default::default() },
+        ));
+        node.with(|n| n.enable_trace());
+        let config = OverclockConfig { actuator_safeguard, ..Default::default() };
+        let (model, actuator) = smart_overclock(&node, config);
+        let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+        let report = runtime.run_for(horizon).expect("non-empty horizon");
+
+        // The batch takes ~100 s at nominal (less when overclocked); treat
+        // everything after 120 s in each period as idle.
+        let (idle_power, active_power, idle_overclocked) = node.with(|n| {
+            let mut idle = (0.0, 0u64);
+            let mut active = (0.0, 0u64);
+            let mut overclocked_idle = 0u64;
+            for p in n.trace() {
+                let phase = p.at.as_nanos() % SimDuration::from_secs(450).as_nanos();
+                let is_idle = phase > SimDuration::from_secs(120).as_nanos();
+                if is_idle {
+                    idle.0 += p.power_watts;
+                    idle.1 += 1;
+                    if p.frequency_ghz > 1.5 + 1e-9 {
+                        overclocked_idle += 1;
+                    }
+                } else {
+                    active.0 += p.power_watts;
+                    active.1 += 1;
+                }
+            }
+            (
+                if idle.1 > 0 { idle.0 / idle.1 as f64 } else { 0.0 },
+                if active.1 > 0 { active.0 / active.1 as f64 } else { 0.0 },
+                if idle.1 > 0 { overclocked_idle as f64 / idle.1 as f64 } else { 0.0 },
+            )
+        });
+        rows.push(Fig5Row {
+            actuator_safeguard,
+            idle_power_watts: idle_power,
+            active_power_watts: active_power,
+            idle_overclocked_fraction: idle_overclocked,
+            safeguard_triggers: report.stats.actuator.safeguard_triggers,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: SimDuration = SimDuration::from_secs(120);
+
+    #[test]
+    fn fig1_smartoverclock_beats_nominal_on_cpu_bound_workloads() {
+        let rows = fig1(SHORT);
+        assert_eq!(rows.len(), 12);
+        let agent_object_store = rows
+            .iter()
+            .find(|r| r.workload == "ObjectStore" && r.policy == "SmartOverclock")
+            .unwrap();
+        assert!(agent_object_store.normalized_performance > 1.1);
+        let static_23_disk = rows
+            .iter()
+            .find(|r| r.workload == "DiskSpeed" && r.policy == "static 2.3 GHz")
+            .unwrap();
+        let agent_disk = rows
+            .iter()
+            .find(|r| r.workload == "DiskSpeed" && r.policy == "SmartOverclock")
+            .unwrap();
+        assert!(agent_disk.normalized_power < static_23_disk.normalized_power);
+    }
+
+    #[test]
+    fn fig2_validation_recovers_performance() {
+        let rows = fig2(SHORT, &[0.1]);
+        let with = rows.iter().find(|r| r.validation).unwrap();
+        let without = rows.iter().find(|r| !r.validation).unwrap();
+        assert!(with.samples_discarded > 0);
+        assert_eq!(without.samples_discarded, 0);
+        assert!(with.normalized_performance >= without.normalized_performance * 0.95);
+    }
+
+    #[test]
+    fn fig3_safeguard_limits_power_increase_on_disk_bound() {
+        let rows = fig3(SHORT);
+        let unsafe_disk =
+            rows.iter().find(|r| r.workload == "DiskSpeed" && !r.model_safeguard).unwrap();
+        let safe_disk =
+            rows.iter().find(|r| r.workload == "DiskSpeed" && r.model_safeguard).unwrap();
+        assert!(unsafe_disk.power_increase_pct > 2.0 * safe_disk.power_increase_pct.max(1.0));
+        assert!(safe_disk.intercepted_predictions > 0);
+    }
+
+    #[test]
+    fn fig4_blocking_actuator_wastes_more_power() {
+        let rows = fig4(SimDuration::from_secs(280));
+        let blocking = rows.iter().find(|r| r.actuator == "blocking").unwrap();
+        let non_blocking = rows.iter().find(|r| r.actuator == "non-blocking").unwrap();
+        assert!(blocking.power_increase_pct > non_blocking.power_increase_pct);
+        assert!(non_blocking.actuation_timeouts > 0);
+    }
+
+    #[test]
+    fn fig5_safeguard_reduces_idle_power() {
+        let rows = fig5(SimDuration::from_secs(450));
+        let with = rows.iter().find(|r| r.actuator_safeguard).unwrap();
+        let without = rows.iter().find(|r| !r.actuator_safeguard).unwrap();
+        assert!(with.safeguard_triggers >= 1);
+        assert!(with.idle_overclocked_fraction < without.idle_overclocked_fraction);
+        assert!(with.idle_power_watts <= without.idle_power_watts);
+    }
+}

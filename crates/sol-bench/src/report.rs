@@ -1,0 +1,66 @@
+//! Small helpers for printing experiment tables in a consistent format.
+
+/// Prints a Markdown-style table: a header row followed by data rows.
+///
+/// # Panics
+///
+/// Panics if any row has a different number of columns than the header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header width");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:width$}", c, width = widths[i])).collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn fmt(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a value as a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456), "1.235");
+        assert_eq!(pct(0.4567), "45.7%");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()], vec!["3".to_string(), "4".to_string()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        print_table("demo", &["a", "b"], &[vec!["1".to_string()]]);
+    }
+}

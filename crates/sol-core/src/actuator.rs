@@ -1,0 +1,112 @@
+//! The `Actuator` half of the SOL agent API (paper §4.1, Listing 2).
+//!
+//! The Actuator makes control decisions at regular intervals using predictions
+//! from the Model when available. By design it closely resembles a
+//! non-learning agent: a simple control function plus a watchdog-style
+//! safeguard and an idempotent clean-up routine.
+
+use crate::prediction::Prediction;
+use crate::time::Timestamp;
+
+/// The outcome of the Actuator safeguard check
+/// ([`Actuator::assess_performance`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuatorAssessment {
+    /// End-to-end behaviour is within the acceptable envelope.
+    Acceptable,
+    /// The safeguard condition tripped; the runtime calls
+    /// [`Actuator::mitigate`] and halts the Actuator loop until the condition
+    /// clears.
+    Unacceptable,
+}
+
+impl ActuatorAssessment {
+    /// Returns `true` when the behaviour is acceptable.
+    pub fn is_acceptable(self) -> bool {
+        matches!(self, ActuatorAssessment::Acceptable)
+    }
+
+    /// Builds an assessment from a boolean where `true` means acceptable.
+    pub fn from_acceptable(ok: bool) -> Self {
+        if ok {
+            ActuatorAssessment::Acceptable
+        } else {
+            ActuatorAssessment::Unacceptable
+        }
+    }
+}
+
+/// The control half of a SOL agent.
+///
+/// [`take_action`](Actuator::take_action) is called either when a new
+/// prediction becomes available or after the schedule's maximum actuation
+/// delay elapses, whichever comes first. There may not be a prediction
+/// available (even a default one) by the time the Actuator must act, in which
+/// case it receives `None` and should take a conservative, safe action.
+///
+/// # Examples
+///
+/// ```
+/// use sol_core::actuator::{Actuator, ActuatorAssessment};
+/// use sol_core::prediction::Prediction;
+/// use sol_core::time::Timestamp;
+///
+/// /// Sets a knob to the predicted value, or to a safe value when no
+/// /// prediction is available.
+/// struct KnobActuator {
+///     knob: f64,
+/// }
+///
+/// impl Actuator for KnobActuator {
+///     type Pred = f64;
+///
+///     fn take_action(&mut self, _now: Timestamp, pred: Option<&Prediction<f64>>) {
+///         self.knob = pred.map(|p| *p.value()).unwrap_or(0.0);
+///     }
+///     fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+///         ActuatorAssessment::Acceptable
+///     }
+///     fn mitigate(&mut self, _now: Timestamp) {
+///         self.knob = 0.0;
+///     }
+///     fn clean_up(&mut self, _now: Timestamp) {
+///         self.knob = 0.0;
+///     }
+/// }
+/// ```
+pub trait Actuator: Send {
+    /// The prediction type this actuator consumes; must match the paired
+    /// model's [`Model::Pred`](crate::model::Model::Pred).
+    type Pred;
+
+    /// Takes a control action. `pred` is `None` when no un-expired prediction
+    /// was available within the allowed actuation delay; the implementation
+    /// should then take a conservative action that preserves customer QoS and
+    /// node health.
+    fn take_action(&mut self, now: Timestamp, pred: Option<&Prediction<Self::Pred>>);
+
+    /// The Actuator safeguard: assesses the agent's end-to-end behaviour
+    /// independently of the model's internal state (the last line of
+    /// defense). The runtime evaluates this periodically.
+    fn assess_performance(&mut self, now: Timestamp) -> ActuatorAssessment;
+
+    /// Takes mitigating action after the safeguard trips (e.g. return all
+    /// harvested cores, restore nominal frequency).
+    fn mitigate(&mut self, now: Timestamp);
+
+    /// Stops the agent's effects and restores the node to a clean state.
+    /// Must be idempotent and safe to call at any time, whether the agent is
+    /// running normally, has crashed, or is hanging.
+    fn clean_up(&mut self, now: Timestamp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assessment_from_bool() {
+        assert!(ActuatorAssessment::from_acceptable(true).is_acceptable());
+        assert!(!ActuatorAssessment::from_acceptable(false).is_acceptable());
+    }
+}

@@ -1,0 +1,48 @@
+//! Runtimes that schedule and execute an agent's Model and Actuator loops.
+//!
+//! Two drivers are provided:
+//!
+//! * [`SimRuntime`](sim::SimRuntime) — a single-threaded, deterministic
+//!   discrete-event driver used by all experiments. It co-advances a simulated
+//!   [`Environment`] (e.g. the node simulator) with the agent's control loops.
+//! * [`ThreadedRuntime`](threaded::ThreadedRuntime) — the deployment shape the
+//!   paper describes: the Model and Actuator run in separately scheduled OS
+//!   threads connected by a prediction queue, so the Actuator keeps taking
+//!   safe actions while the Model is throttled.
+
+pub mod sim;
+pub mod threaded;
+
+use crate::time::Timestamp;
+
+/// A simulated environment that evolves with time.
+///
+/// The simulation runtime advances the environment to the current virtual time
+/// before running either control loop, so agents always observe up-to-date
+/// telemetry.
+pub trait Environment {
+    /// Advances the environment's state to `now`. Called with monotonically
+    /// non-decreasing timestamps.
+    fn advance_to(&mut self, now: Timestamp);
+}
+
+/// A no-op environment for agents that do not need a simulated substrate
+/// (useful in unit tests and the quickstart example).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullEnvironment;
+
+impl Environment for NullEnvironment {
+    fn advance_to(&mut self, _now: Timestamp) {}
+}
+
+impl<E: Environment + ?Sized> Environment for &mut E {
+    fn advance_to(&mut self, now: Timestamp) {
+        (**self).advance_to(now);
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for Box<E> {
+    fn advance_to(&mut self, now: Timestamp) {
+        (**self).advance_to(now);
+    }
+}

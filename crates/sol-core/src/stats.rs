@@ -1,0 +1,127 @@
+//! Operational statistics kept by the SOL runtime for each agent.
+//!
+//! These counters give site reliability engineers visibility into how an agent
+//! behaved — how often its safeguards fired, how often it fell back to default
+//! predictions, how often it acted without any prediction — without requiring
+//! any knowledge of the agent's implementation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Counters describing the Model control loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelLoopStats {
+    /// Samples returned by `collect_data` that passed validation and were
+    /// committed.
+    pub samples_committed: u64,
+    /// Samples that failed `validate_data` and were discarded.
+    pub samples_discarded: u64,
+    /// `collect_data` calls that returned an error.
+    pub collect_errors: u64,
+    /// Learning epochs that gathered enough valid data to update the model.
+    pub epochs_completed: u64,
+    /// Learning epochs that timed out (or were explicitly short-circuited)
+    /// before gathering enough valid data.
+    pub epochs_short_circuited: u64,
+    /// Predictions produced by the model and forwarded to the Actuator.
+    pub model_predictions: u64,
+    /// Default predictions forwarded to the Actuator (short-circuited epochs,
+    /// `predict` returning `None`, or interception by the model safeguard).
+    pub default_predictions: u64,
+    /// Model predictions intercepted because the model safeguard was failing.
+    pub intercepted_predictions: u64,
+    /// Number of model safeguard evaluations performed.
+    pub model_assessments: u64,
+    /// Number of model safeguard evaluations that reported `Failing`.
+    pub model_assessment_failures: u64,
+}
+
+/// Counters describing the Actuator control loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuatorLoopStats {
+    /// Actions taken with a fresh model-produced prediction.
+    pub actions_with_model_prediction: u64,
+    /// Actions taken with a fresh default prediction.
+    pub actions_with_default_prediction: u64,
+    /// Actions taken with no prediction available (timeout path).
+    pub actions_without_prediction: u64,
+    /// Predictions that arrived but had already expired when the Actuator ran.
+    pub expired_predictions: u64,
+    /// Predictions superseded by a newer one before the Actuator consumed
+    /// them.
+    pub superseded_predictions: u64,
+    /// Predictions dropped because the Actuator was halted by its safeguard.
+    pub predictions_dropped_while_halted: u64,
+    /// Times the Actuator acted because its maximum actuation delay elapsed.
+    pub actuation_timeouts: u64,
+    /// Actuator safeguard evaluations performed.
+    pub performance_assessments: u64,
+    /// Times the Actuator safeguard tripped (transitions into the halted
+    /// state).
+    pub safeguard_triggers: u64,
+    /// Calls to `mitigate`.
+    pub mitigations: u64,
+    /// Calls to `clean_up`.
+    pub cleanups: u64,
+    /// Total simulated/wall time spent with the Actuator halted by its
+    /// safeguard.
+    pub halted_time: SimDuration,
+}
+
+/// Combined statistics for one agent run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Model-loop counters.
+    pub model: ModelLoopStats,
+    /// Actuator-loop counters.
+    pub actuator: ActuatorLoopStats,
+}
+
+impl AgentStats {
+    /// Total predictions forwarded to the Actuator loop.
+    pub fn predictions_forwarded(&self) -> u64 {
+        self.model.model_predictions + self.model.default_predictions
+    }
+
+    /// Total actions taken by the Actuator.
+    pub fn actions_taken(&self) -> u64 {
+        self.actuator.actions_with_model_prediction
+            + self.actuator.actions_with_default_prediction
+            + self.actuator.actions_without_prediction
+    }
+
+    /// Fraction of actions that were driven by a model prediction, in `[0,1]`.
+    /// Returns 0 when no actions were taken.
+    pub fn model_driven_fraction(&self) -> f64 {
+        let total = self.actions_taken();
+        if total == 0 {
+            0.0
+        } else {
+            self.actuator.actions_with_model_prediction as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_totals() {
+        let mut s = AgentStats::default();
+        s.model.model_predictions = 8;
+        s.model.default_predictions = 2;
+        s.actuator.actions_with_model_prediction = 6;
+        s.actuator.actions_with_default_prediction = 2;
+        s.actuator.actions_without_prediction = 2;
+        assert_eq!(s.predictions_forwarded(), 10);
+        assert_eq!(s.actions_taken(), 10);
+        assert!((s.model_driven_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_fraction_of_empty_stats_is_zero() {
+        assert_eq!(AgentStats::default().model_driven_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random sampling utilities shared by the simulator and the agents.
+//!
+//! Real-world memory-access popularity is highly skewed (paper §5.3), so the
+//! node simulator drives its page-access generators with a [`Zipf`]
+//! distribution. A deterministic RNG constructor is also provided so every
+//! experiment is reproducible from a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic random number generator from a seed.
+///
+/// All agents and workloads in this reproduction derive their randomness from
+/// seeded [`StdRng`] instances so experiment output is bit-for-bit
+/// reproducible.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A Zipf distribution over `{0, 1, ..., n-1}` with skew parameter `s`.
+///
+/// Rank 0 is the most popular element. Sampling uses the inverse-CDF method
+/// over precomputed cumulative weights, so draws are `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use sol_ml::sampling::{seeded_rng, Zipf};
+///
+/// let zipf = Zipf::new(1000, 1.1);
+/// let mut rng = seeded_rng(7);
+/// let mut hits_to_top_ten = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) < 10 {
+///         hits_to_top_ten += 1;
+///     }
+/// }
+/// // The hottest 1% of elements receive far more than 1% of the accesses.
+/// assert!(hits_to_top_ten > 2_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` elements with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one element");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero elements (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of drawing element `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        self.cumulative[rank] - prev
+    }
+
+    /// Draws one element rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN weights")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(z.probability(i) <= z.probability(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_probabilities() {
+        let z = Zipf::new(20, 1.2);
+        let mut rng = seeded_rng(11);
+        let mut counts = vec![0u32; 20];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..5 {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - z.probability(i)).abs() < 0.01,
+                "rank {i}: freq {freq} vs p {}",
+                z.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(3);
+        let mut b = seeded_rng(3);
+        let xs: Vec<u32> = (0..10).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_empty_distribution() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The simulated node used by the SmartOverclock experiments.
+//!
+//! A [`CpuNode`] hosts one opaque VM running a [`CpuWorkload`], exposes the
+//! hypervisor-level counters the agent reads (IPS, α), lets the agent change
+//! the core frequency, and meters power with the DVFS model. Fault injection
+//! (out-of-range IPS readings, per paper §6.2 "Invalid data") is built in.
+
+use rand::Rng;
+
+use sol_core::error::DataError;
+use sol_core::runtime::Environment;
+use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::sampling::seeded_rng;
+
+use crate::counters::{CounterSample, CpuCounters};
+use crate::power::{EnergyMeter, PowerModel, FREQUENCY_LEVELS_GHZ, NOMINAL_FREQUENCY_GHZ};
+use crate::workload::{CpuWorkload, PerfReport};
+
+/// Instructions per cycle achieved by fully productive (non-stalled) cycles.
+const BASE_IPC: f64 = 2.0;
+
+/// Configuration for a [`CpuNode`].
+#[derive(Debug, Clone)]
+pub struct CpuNodeConfig {
+    /// Number of physical cores visible to the VM (the paper's server has 26
+    /// per socket).
+    pub cores: usize,
+    /// Nominal frequency in GHz (safe default).
+    pub nominal_ghz: f64,
+    /// Frequencies the agent may select, in GHz.
+    pub available_ghz: Vec<f64>,
+    /// Internal integration step.
+    pub step: SimDuration,
+    /// Probability that a counter sample returns an out-of-range IPS reading
+    /// (fault injection for Figure 2).
+    pub bad_ips_probability: f64,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+    /// Power model.
+    pub power_model: PowerModel,
+}
+
+impl Default for CpuNodeConfig {
+    fn default() -> Self {
+        CpuNodeConfig {
+            cores: 26,
+            nominal_ghz: NOMINAL_FREQUENCY_GHZ,
+            available_ghz: FREQUENCY_LEVELS_GHZ.to_vec(),
+            step: SimDuration::from_millis(25),
+            bad_ips_probability: 0.0,
+            seed: 42,
+            power_model: PowerModel::default(),
+        }
+    }
+}
+
+/// One point of the frequency/power trace kept for time-series figures
+/// (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuTracePoint {
+    /// Time of the sample.
+    pub at: Timestamp,
+    /// Frequency in GHz at that time.
+    pub frequency_ghz: f64,
+    /// Instantaneous node power in watts.
+    pub power_watts: f64,
+    /// Instantaneous α.
+    pub alpha: f64,
+}
+
+/// A simulated server node hosting one VM, with frequency control.
+pub struct CpuNode {
+    config: CpuNodeConfig,
+    workload: Box<dyn CpuWorkload>,
+    current_ghz: f64,
+    counters: CpuCounters,
+    last_sample_counters: CpuCounters,
+    last_sample_at: Timestamp,
+    energy: EnergyMeter,
+    now: Timestamp,
+    rng: rand::rngs::StdRng,
+    trace: Vec<CpuTracePoint>,
+    trace_enabled: bool,
+    last_alpha: f64,
+    frequency_changes: u64,
+}
+
+impl std::fmt::Debug for CpuNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuNode")
+            .field("workload", &self.workload.name())
+            .field("now", &self.now)
+            .field("current_ghz", &self.current_ghz)
+            .field("avg_power_watts", &self.energy.average_watts())
+            .finish()
+    }
+}
+
+impl CpuNode {
+    /// Creates a node running `workload` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no cores, no available frequencies, a
+    /// zero step, or a bad-IPS probability outside `[0, 1]`.
+    pub fn new(workload: Box<dyn CpuWorkload>, config: CpuNodeConfig) -> Self {
+        assert!(config.cores > 0, "node needs at least one core");
+        assert!(!config.available_ghz.is_empty(), "need at least one frequency");
+        assert!(!config.step.is_zero(), "step must be non-zero");
+        assert!(
+            (0.0..=1.0).contains(&config.bad_ips_probability),
+            "bad-IPS probability must be in [0, 1]"
+        );
+        let rng = seeded_rng(config.seed);
+        let nominal = config.nominal_ghz;
+        CpuNode {
+            config,
+            workload,
+            current_ghz: nominal,
+            counters: CpuCounters::default(),
+            last_sample_counters: CpuCounters::default(),
+            last_sample_at: Timestamp::ZERO,
+            energy: EnergyMeter::new(),
+            now: Timestamp::ZERO,
+            rng,
+            trace: Vec::new(),
+            trace_enabled: false,
+            last_alpha: 0.0,
+            frequency_changes: 0,
+        }
+    }
+
+    /// Enables recording of a (time, frequency, power, α) trace.
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    pub fn trace(&self) -> &[CpuTracePoint] {
+        &self.trace
+    }
+
+    /// Number of cores on the node.
+    pub fn cores(&self) -> usize {
+        self.config.cores
+    }
+
+    /// The node's nominal frequency in GHz.
+    pub fn nominal_frequency_ghz(&self) -> f64 {
+        self.config.nominal_ghz
+    }
+
+    /// Frequencies the agent may select.
+    pub fn available_frequencies_ghz(&self) -> &[f64] {
+        &self.config.available_ghz
+    }
+
+    /// The currently configured core frequency in GHz.
+    pub fn frequency_ghz(&self) -> f64 {
+        self.current_ghz
+    }
+
+    /// Sets the core frequency for the VM's cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not one of the available frequencies.
+    pub fn set_frequency_ghz(&mut self, ghz: f64) {
+        assert!(
+            self.config.available_ghz.iter().any(|f| (f - ghz).abs() < 1e-9),
+            "frequency {ghz} GHz is not available on this node"
+        );
+        if (ghz - self.current_ghz).abs() > 1e-9 {
+            self.frequency_changes += 1;
+        }
+        self.current_ghz = ghz;
+    }
+
+    /// Restores the nominal frequency (used by `Mitigate` and `CleanUp`).
+    pub fn restore_nominal_frequency(&mut self) {
+        self.current_ghz = self.config.nominal_ghz;
+    }
+
+    /// Number of times the frequency setting changed.
+    pub fn frequency_changes(&self) -> u64 {
+        self.frequency_changes
+    }
+
+    /// Sets the probability of returning an out-of-range IPS reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_bad_ips_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.config.bad_ips_probability = p;
+    }
+
+    /// Takes a counter sample covering the interval since the previous call.
+    /// With fault injection enabled, the IPS value may be corrupted to an
+    /// out-of-range value; the sample itself is still returned so the agent's
+    /// data validation can catch it.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the current model; the `Result` mirrors the production
+    /// interface where counter reads can fail outright.
+    pub fn take_counter_sample(&mut self) -> Result<CounterSample, DataError> {
+        let delta = self.counters.delta_since(&self.last_sample_counters);
+        let interval = self.now.duration_since(self.last_sample_at);
+        self.last_sample_counters = self.counters;
+        self.last_sample_at = self.now;
+        let mut sample = CounterSample::from_delta(self.now, interval, &delta, self.current_ghz);
+        if self.config.bad_ips_probability > 0.0
+            && self.rng.gen::<f64>() < self.config.bad_ips_probability
+        {
+            // A corrupted reading far outside the physically possible range
+            // (max_freq * max_IPC * cores), as injected in paper §6.2.
+            sample.ips = self.max_plausible_ips() * (10.0 + self.rng.gen::<f64>() * 10.0);
+        }
+        Ok(sample)
+    }
+
+    /// The largest physically plausible IPS value for this node
+    /// (`max_freq * max_IPC * cores`), used by the agent's data validation.
+    pub fn max_plausible_ips(&self) -> f64 {
+        let max_freq =
+            self.config.available_ghz.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        max_freq * 1e9 * BASE_IPC * self.config.cores as f64
+    }
+
+    /// The α value over the last integration step.
+    pub fn current_alpha(&self) -> f64 {
+        self.last_alpha
+    }
+
+    /// Average node power since the start of the run, in watts.
+    pub fn average_power_watts(&self) -> f64 {
+        self.energy.average_watts()
+    }
+
+    /// Total energy consumed, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.joules()
+    }
+
+    /// Performance report from the hosted workload.
+    pub fn performance(&self) -> PerfReport {
+        self.workload.performance()
+    }
+
+    /// Name of the hosted workload.
+    pub fn workload_name(&self) -> &'static str {
+        self.workload.name()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn step_once(&mut self, dt: SimDuration) {
+        let now = self.now;
+        let demand = self.workload.demand(now);
+        let granted = demand.cores.min(self.config.cores as f64);
+        let freq_factor = self.current_ghz / self.config.nominal_ghz;
+        self.workload.deliver(now, dt, granted, freq_factor);
+
+        // Counters.
+        let secs = dt.as_secs_f64();
+        let hz = self.current_ghz * 1e9;
+        let total_cycles = self.config.cores as f64 * hz * secs;
+        let unhalted = granted * hz * secs;
+        let stalled = unhalted * (1.0 - demand.cpu_bound_fraction);
+        let instructions = (unhalted - stalled) * BASE_IPC;
+        let delta = CpuCounters {
+            instructions,
+            unhalted_cycles: unhalted,
+            stalled_cycles: stalled,
+            total_cycles,
+        };
+        self.last_alpha = delta.alpha();
+        self.counters.accumulate(&delta);
+
+        // Power.
+        let utilization = (granted / self.config.cores as f64).clamp(0.0, 1.0);
+        let watts =
+            self.config.power_model.node_power_watts(self.current_ghz, utilization, self.config.cores);
+        self.energy.record(watts, dt);
+
+        if self.trace_enabled {
+            self.trace.push(CpuTracePoint {
+                at: now,
+                frequency_ghz: self.current_ghz,
+                power_watts: watts,
+                alpha: self.last_alpha,
+            });
+        }
+
+        self.now = now + dt;
+    }
+}
+
+impl Environment for CpuNode {
+    fn advance_to(&mut self, now: Timestamp) {
+        while self.now < now {
+            let remaining = now.duration_since(self.now);
+            let dt = remaining.min(self.config.step);
+            self.step_once(dt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{OverclockWorkloadKind, SyntheticBatch};
+
+    fn node(kind: OverclockWorkloadKind) -> CpuNode {
+        CpuNode::new(kind.build(8), CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() })
+    }
+
+    #[test]
+    fn advancing_meters_power_and_counters() {
+        let mut n = node(OverclockWorkloadKind::ObjectStore);
+        n.advance_to(Timestamp::from_secs(10));
+        assert!(n.average_power_watts() > 0.0);
+        let sample = n.take_counter_sample().unwrap();
+        assert!(sample.ips > 0.0);
+        assert!(sample.alpha > 0.5, "ObjectStore is CPU-bound, alpha = {}", sample.alpha);
+        assert!(sample.ips <= n.max_plausible_ips());
+    }
+
+    #[test]
+    fn overclocking_raises_power_and_ips_for_cpu_bound_workload() {
+        let mut nominal = node(OverclockWorkloadKind::ObjectStore);
+        let mut turbo = node(OverclockWorkloadKind::ObjectStore);
+        turbo.set_frequency_ghz(2.3);
+        nominal.advance_to(Timestamp::from_secs(20));
+        turbo.advance_to(Timestamp::from_secs(20));
+        assert!(turbo.average_power_watts() > nominal.average_power_watts() * 1.3);
+        let ips_nominal = nominal.take_counter_sample().unwrap().ips;
+        let ips_turbo = turbo.take_counter_sample().unwrap().ips;
+        assert!(ips_turbo > ips_nominal * 1.4);
+        assert!(turbo.performance().score > nominal.performance().score);
+    }
+
+    #[test]
+    fn disk_bound_workload_has_low_alpha_and_flat_performance() {
+        let mut nominal = node(OverclockWorkloadKind::DiskSpeed);
+        let mut turbo = node(OverclockWorkloadKind::DiskSpeed);
+        turbo.set_frequency_ghz(2.3);
+        nominal.advance_to(Timestamp::from_secs(20));
+        turbo.advance_to(Timestamp::from_secs(20));
+        let s = nominal.take_counter_sample().unwrap();
+        assert!(s.alpha < 0.2, "DiskSpeed alpha should be low, got {}", s.alpha);
+        let ratio = turbo.performance().score / nominal.performance().score;
+        assert!((ratio - 1.0).abs() < 0.02, "throughput must not scale with frequency");
+        assert!(turbo.average_power_watts() > nominal.average_power_watts());
+    }
+
+    #[test]
+    fn synthetic_idle_phase_has_low_alpha() {
+        // A small batch finishes quickly, then the node idles.
+        let workload = SyntheticBatch::new(SimDuration::from_secs(1000), 8.0, 8.0);
+        let mut n =
+            CpuNode::new(Box::new(workload), CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() });
+        n.advance_to(Timestamp::from_secs(5));
+        let _ = n.take_counter_sample().unwrap();
+        n.advance_to(Timestamp::from_secs(60));
+        let idle = n.take_counter_sample().unwrap();
+        assert!(idle.alpha < 0.05, "idle alpha should be tiny, got {}", idle.alpha);
+    }
+
+    #[test]
+    fn bad_ips_injection_produces_out_of_range_samples() {
+        let mut n = node(OverclockWorkloadKind::ObjectStore);
+        n.set_bad_ips_probability(1.0);
+        n.advance_to(Timestamp::from_secs(1));
+        let s = n.take_counter_sample().unwrap();
+        assert!(s.ips > n.max_plausible_ips());
+    }
+
+    #[test]
+    fn frequency_setting_is_validated_and_counted() {
+        let mut n = node(OverclockWorkloadKind::Synthetic);
+        n.set_frequency_ghz(1.9);
+        n.set_frequency_ghz(1.9);
+        n.set_frequency_ghz(2.3);
+        assert_eq!(n.frequency_changes(), 2);
+        n.restore_nominal_frequency();
+        assert_eq!(n.frequency_ghz(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn rejects_unknown_frequency() {
+        let mut n = node(OverclockWorkloadKind::Synthetic);
+        n.set_frequency_ghz(3.6);
+    }
+
+    #[test]
+    fn trace_records_frequency_changes() {
+        let mut n = node(OverclockWorkloadKind::ObjectStore);
+        n.enable_trace();
+        n.advance_to(Timestamp::from_secs(1));
+        n.set_frequency_ghz(2.3);
+        n.advance_to(Timestamp::from_secs(2));
+        let freqs: Vec<f64> = n.trace().iter().map(|p| p.frequency_ghz).collect();
+        assert!(freqs.contains(&1.5) && freqs.contains(&2.3));
+    }
+}

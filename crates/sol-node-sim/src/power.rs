@@ -1,0 +1,183 @@
+//! CPU frequency / power model.
+//!
+//! The paper's testbed is a two-socket Xeon 8171M whose cores can run at 1.5,
+//! 1.9, or 2.3 GHz (§6.2). Since we have no power meter, this module provides
+//! a standard DVFS power model: static (leakage) power per core plus dynamic
+//! power that scales with utilization and super-linearly (cubically) with
+//! frequency. Figures 1–5 depend only on the *relative* power of the
+//! frequency settings, which this model preserves.
+
+use serde::{Deserialize, Serialize};
+
+use sol_core::time::SimDuration;
+
+/// The frequency levels the SmartOverclock agent can choose from (GHz),
+/// matching §6.2: nominal 1.5 GHz and overclocked 1.9 / 2.3 GHz.
+pub const FREQUENCY_LEVELS_GHZ: [f64; 3] = [1.5, 1.9, 2.3];
+
+/// The nominal (safe default) frequency in GHz.
+pub const NOMINAL_FREQUENCY_GHZ: f64 = 1.5;
+
+/// A simple per-core DVFS power model.
+///
+/// Power for one core running at frequency `f` with utilization `u` is
+/// `static_w * (f / nominal)^2 + dynamic_w * u * (f / nominal)^3` — static
+/// power rises with the voltage needed for the higher frequency, dynamic
+/// power with voltage squared times frequency. Node power is the sum over
+/// cores plus a constant platform overhead.
+///
+/// # Examples
+///
+/// ```
+/// use sol_node_sim::power::PowerModel;
+///
+/// let model = PowerModel::default();
+/// let idle = model.node_power_watts(1.5, 0.0, 26);
+/// let busy = model.node_power_watts(2.3, 1.0, 26);
+/// assert!(busy > 2.0 * idle);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Constant platform power (fans, uncore, DRAM) in watts.
+    pub platform_watts: f64,
+    /// Static per-core power in watts (weakly frequency dependent; modeled
+    /// as linear in frequency).
+    pub static_core_watts: f64,
+    /// Dynamic per-core power at the nominal frequency and 100% utilization,
+    /// in watts.
+    pub dynamic_core_watts: f64,
+    /// Nominal frequency in GHz used to normalize the cubic term.
+    pub nominal_ghz: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            platform_watts: 20.0,
+            static_core_watts: 1.0,
+            dynamic_core_watts: 4.0,
+            nominal_ghz: NOMINAL_FREQUENCY_GHZ,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Power drawn by one core at frequency `freq_ghz` (GHz) with utilization
+    /// `utilization` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_ghz` is not positive or `utilization` is outside
+    /// `[0, 1]`.
+    pub fn core_power_watts(&self, freq_ghz: f64, utilization: f64) -> f64 {
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        assert!((0.0..=1.0 + 1e-9).contains(&utilization), "utilization must be in [0, 1]");
+        let ratio = freq_ghz / self.nominal_ghz;
+        self.static_core_watts * ratio.powi(2)
+            + self.dynamic_core_watts * utilization * ratio.powi(3)
+    }
+
+    /// Power drawn by the whole node with `cores` cores all at `freq_ghz` and
+    /// average utilization `utilization`.
+    pub fn node_power_watts(&self, freq_ghz: f64, utilization: f64, cores: usize) -> f64 {
+        self.platform_watts + cores as f64 * self.core_power_watts(freq_ghz, utilization)
+    }
+}
+
+/// Integrates power over time to produce energy and average power.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    joules: f64,
+    elapsed: SimDuration,
+    peak_watts: f64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `watts` of power drawn for `dt`.
+    pub fn record(&mut self, watts: f64, dt: SimDuration) {
+        self.joules += watts * dt.as_secs_f64();
+        self.elapsed += dt;
+        if watts > self.peak_watts {
+            self.peak_watts = watts;
+        }
+    }
+
+    /// Total energy consumed in joules.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Average power over the recorded interval (0 if nothing recorded).
+    pub fn average_watts(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.joules / secs
+        }
+    }
+
+    /// Highest instantaneous power recorded.
+    pub fn peak_watts(&self) -> f64 {
+        self.peak_watts
+    }
+
+    /// Total time covered by the recordings.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_increases_superlinearly_with_frequency() {
+        let m = PowerModel::default();
+        let p15 = m.node_power_watts(1.5, 1.0, 26);
+        let p19 = m.node_power_watts(1.9, 1.0, 26);
+        let p23 = m.node_power_watts(2.3, 1.0, 26);
+        assert!(p15 < p19 && p19 < p23);
+        // Dynamic component alone grows faster than frequency.
+        let d15 = m.core_power_watts(1.5, 1.0) - m.core_power_watts(1.5, 0.0);
+        let d23 = m.core_power_watts(2.3, 1.0) - m.core_power_watts(2.3, 0.0);
+        assert!(d23 / d15 > 2.3 / 1.5);
+    }
+
+    #[test]
+    fn idle_power_is_much_lower_than_busy_power() {
+        let m = PowerModel::default();
+        assert!(m.node_power_watts(1.5, 0.05, 26) < 0.6 * m.node_power_watts(1.5, 1.0, 26));
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_bad_utilization() {
+        let m = PowerModel::default();
+        let _ = m.core_power_watts(1.5, 1.5);
+    }
+
+    #[test]
+    fn energy_meter_integrates() {
+        let mut meter = EnergyMeter::new();
+        meter.record(100.0, SimDuration::from_secs(2));
+        meter.record(50.0, SimDuration::from_secs(2));
+        assert!((meter.joules() - 300.0).abs() < 1e-9);
+        assert!((meter.average_watts() - 75.0).abs() < 1e-9);
+        assert_eq!(meter.peak_watts(), 100.0);
+        assert_eq!(meter.elapsed(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let meter = EnergyMeter::new();
+        assert_eq!(meter.average_watts(), 0.0);
+        assert_eq!(meter.joules(), 0.0);
+    }
+}

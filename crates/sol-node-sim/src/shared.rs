@@ -1,0 +1,107 @@
+//! Shared handles to simulated nodes.
+//!
+//! An agent's `Model` and `Actuator` both need access to the same node (one
+//! reads counters, the other changes hardware settings), and the SOL runtime
+//! needs to advance the node's simulated time. [`Shared`] wraps a node in an
+//! `Arc<Mutex<_>>` so all three can hold handles, in both the single-threaded
+//! simulation runtime and the threaded runtime.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use sol_core::runtime::Environment;
+use sol_core::time::Timestamp;
+
+/// A cloneable, thread-safe handle to a simulated node.
+///
+/// # Examples
+///
+/// ```
+/// use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+/// use sol_node_sim::shared::Shared;
+/// use sol_node_sim::workload::OverclockWorkloadKind;
+///
+/// let node = CpuNode::new(OverclockWorkloadKind::Synthetic.build(8), CpuNodeConfig::default());
+/// let shared = Shared::new(node);
+/// let other = shared.clone();
+/// shared.lock().set_frequency_ghz(1.9);
+/// assert_eq!(other.lock().frequency_ghz(), 1.9);
+/// ```
+#[derive(Debug, Default)]
+pub struct Shared<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T> Shared<T> {
+    /// Wraps a node in a shared handle.
+    pub fn new(value: T) -> Self {
+        Shared { inner: Arc::new(Mutex::new(value)) }
+    }
+
+    /// Locks the node for exclusive access.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    /// Runs a closure with exclusive access to the node and returns its
+    /// result.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Number of handles (including this one) referring to the node.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Environment> Environment for Shared<T> {
+    fn advance_to(&mut self, now: Timestamp) {
+        self.inner.lock().advance_to(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+
+    #[test]
+    fn clones_share_state() {
+        let node = Shared::new(HarvestNode::new(
+            BurstyService::image_dnn(),
+            HarvestNodeConfig::default(),
+        ));
+        let other = node.clone();
+        node.lock().set_primary_cores(3);
+        assert_eq!(other.lock().primary_cores(), 3);
+        assert_eq!(node.handle_count(), 2);
+    }
+
+    #[test]
+    fn environment_impl_advances_inner_node() {
+        let mut node = Shared::new(HarvestNode::new(
+            BurstyService::moses(),
+            HarvestNodeConfig::default(),
+        ));
+        node.advance_to(Timestamp::from_secs(2));
+        assert_eq!(node.lock().now(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn with_returns_closure_result() {
+        let node = Shared::new(HarvestNode::new(
+            BurstyService::moses(),
+            HarvestNodeConfig::default(),
+        ));
+        let cores = node.with(|n| n.total_cores());
+        assert_eq!(cores, 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sol — reproduction of *SOL: Safe On-Node Learning in Cloud Platforms*
+//!
+//! This facade crate re-exports the whole reproduction:
+//!
+//! * [`core`](sol_core) — the SOL framework (Model/Actuator API, safeguards,
+//!   deterministic and threaded runtimes).
+//! * [`ml`](sol_ml) — the online learners the agents use (Q-learning,
+//!   cost-sensitive classification, Thompson sampling, streaming statistics).
+//! * [`node_sim`](sol_node_sim) — the simulated cloud node (CPU/DVFS/power,
+//!   hypervisor counters, CPU harvesting, two-tier memory, fault injection).
+//! * [`agents`](sol_agents) — SmartOverclock, SmartHarvest, and SmartMemory.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `sol-bench` crate for the harness that regenerates every table and figure
+//! of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use sol::prelude::*;
+//!
+//! // Run SmartOverclock on the ObjectStore workload for 30 simulated seconds.
+//! let node = Shared::new(CpuNode::new(
+//!     OverclockWorkloadKind::ObjectStore.build(8),
+//!     CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+//! ));
+//! let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
+//! let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+//! let report = runtime.run_for(SimDuration::from_secs(30))?;
+//! assert!(report.stats.model.epochs_completed > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use sol_agents as agents;
+pub use sol_core as core;
+pub use sol_ml as ml;
+pub use sol_node_sim as node_sim;
+
+/// Commonly used items from every crate in the reproduction.
+pub mod prelude {
+    pub use sol_agents::prelude::*;
+    pub use sol_core::prelude::*;
+    pub use sol_ml::prelude::*;
+    pub use sol_node_sim::prelude::*;
+}

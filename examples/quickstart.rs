@@ -1,0 +1,134 @@
+//! Quickstart: build a tiny SOL agent from scratch and run it on both the
+//! deterministic simulation runtime and the threaded runtime.
+//!
+//! The agent watches a noisy "queue depth" signal, learns its average, and
+//! throttles an (imaginary) background task whenever the predicted depth is
+//! high. It exercises every part of the SOL API: data validation, model
+//! assessment, default predictions, the Actuator safeguard, and clean-up.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sol::prelude::*;
+
+/// Telemetry sample: the current queue depth.
+struct QueueDepthModel {
+    rng: rand::rngs::StdRng,
+    window: SlidingWindow,
+    mean: Ewma,
+}
+
+impl Model for QueueDepthModel {
+    type Data = f64;
+    type Pred = f64;
+
+    fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> {
+        use rand::Rng;
+        // A noisy signal that drifts between 0 and 100.
+        Ok(50.0 + 40.0 * self.rng.gen::<f64>() - 20.0)
+    }
+
+    fn validate_data(&self, sample: &f64) -> bool {
+        sample.is_finite() && (0.0..=100.0).contains(sample)
+    }
+
+    fn commit_data(&mut self, _now: Timestamp, sample: f64) {
+        self.window.push(sample);
+    }
+
+    fn update_model(&mut self, _now: Timestamp) {
+        self.mean.push(self.window.mean());
+    }
+
+    fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+        Some(Prediction::model(self.mean.value(), now, now + SimDuration::from_secs(1)))
+    }
+
+    fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+        // When in doubt, predict a high queue depth so the actuator throttles.
+        Prediction::fallback(100.0, now, now + SimDuration::from_secs(1))
+    }
+
+    fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
+        if self.mean.is_initialized() {
+            ModelAssessment::Healthy
+        } else {
+            ModelAssessment::failing("no data yet")
+        }
+    }
+}
+
+/// Throttles a background task when the predicted queue depth is high.
+#[derive(Default)]
+struct ThrottleActuator {
+    throttled: bool,
+    actions: u64,
+}
+
+impl Actuator for ThrottleActuator {
+    type Pred = f64;
+
+    fn take_action(&mut self, _now: Timestamp, pred: Option<&Prediction<f64>>) {
+        self.actions += 1;
+        self.throttled = match pred {
+            Some(p) => *p.value() > 60.0,
+            // No prediction: throttle, the conservative choice.
+            None => true,
+        };
+    }
+
+    fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+        ActuatorAssessment::Acceptable
+    }
+
+    fn mitigate(&mut self, _now: Timestamp) {
+        self.throttled = true;
+    }
+
+    fn clean_up(&mut self, _now: Timestamp) {
+        self.throttled = false;
+    }
+}
+
+fn model() -> QueueDepthModel {
+    QueueDepthModel { rng: seeded_rng(7), window: SlidingWindow::new(32), mean: Ewma::new(0.3) }
+}
+
+fn schedule() -> Schedule {
+    Schedule::builder()
+        .data_per_epoch(10)
+        .data_collect_interval(SimDuration::from_millis(100))
+        .max_epoch_time(SimDuration::from_secs(2))
+        .assess_model_every_epochs(1)
+        .max_actuation_delay(SimDuration::from_secs(5))
+        .assess_actuator_interval(SimDuration::from_secs(1))
+        .build()
+        .expect("valid schedule")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Deterministic simulation: ideal for tests and experiments.
+    let runtime =
+        SimRuntime::new(model(), ThrottleActuator::default(), schedule(), NullEnvironment);
+    let report = runtime.run_for(SimDuration::from_secs(60))?;
+    println!(
+        "simulation: {} epochs, {} actions, throttled at end: {}",
+        report.stats.model.epochs_completed, report.actuator.actions, report.actuator.throttled
+    );
+    println!(
+        "            model predictions: {}, default predictions: {}",
+        report.stats.model.model_predictions, report.stats.model.default_predictions
+    );
+
+    // 2. Threaded runtime: the deployment shape from the paper (two OS
+    //    threads connected by a prediction queue). Runs for one wall-clock
+    //    second here.
+    let agent = run_agent(model(), ThrottleActuator::default(), schedule());
+    let report = agent.run_for(std::time::Duration::from_secs(1))?;
+    println!(
+        "threaded:   {} epochs, {} actions, clean-up ran: {}",
+        report.stats.model.epochs_completed,
+        report.actuator.actions,
+        report.stats.actuator.cleanups == 1
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the node-simulator invariants.
+
+use proptest::prelude::*;
+
+use sol_core::runtime::Environment;
+use sol_core::time::{SimDuration, Timestamp};
+use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+use sol_node_sim::memory_node::{MemoryNode, MemoryNodeConfig, MemoryWorkloadKind};
+use sol_node_sim::workload::OverclockWorkloadKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Energy, counters, and time advance monotonically no matter how the
+    /// advance calls are chopped up.
+    #[test]
+    fn cpu_node_metrics_are_monotone(cuts in prop::collection::vec(1u64..2_000, 1..20)) {
+        let mut node = CpuNode::new(
+            OverclockWorkloadKind::ObjectStore.build(4),
+            CpuNodeConfig { cores: 4, ..CpuNodeConfig::default() },
+        );
+        let mut now = Timestamp::ZERO;
+        let mut last_energy = 0.0;
+        for ms in cuts {
+            now = now + SimDuration::from_millis(ms);
+            node.advance_to(now);
+            prop_assert!(node.energy_joules() >= last_energy);
+            last_energy = node.energy_joules();
+            prop_assert_eq!(node.now(), now);
+            let sample = node.take_counter_sample().unwrap();
+            prop_assert!(sample.ips >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&sample.alpha));
+        }
+    }
+
+    /// Core accounting on the harvest node is conserved: primary + harvested
+    /// always equals the total, for any sequence of assignments.
+    #[test]
+    fn harvest_node_core_accounting(assignments in prop::collection::vec(0usize..12, 1..30)) {
+        let mut node = HarvestNode::new(BurstyService::moses(), HarvestNodeConfig::default());
+        let mut now = Timestamp::ZERO;
+        for cores in assignments {
+            node.set_primary_cores(cores);
+            now = now + SimDuration::from_millis(50);
+            node.advance_to(now);
+            prop_assert_eq!(node.primary_cores() + node.harvested_cores(), node.total_cores());
+            prop_assert!(node.primary_cores() >= 1);
+            prop_assert!(node.p99_latency_ms() >= BurstyService::moses().base_latency_ms - 1e-9);
+        }
+    }
+
+    /// Memory-tier accounting is conserved and access routing matches tiers.
+    #[test]
+    fn memory_node_tier_accounting(
+        moves in prop::collection::vec((0usize..64, any::<bool>()), 1..50),
+    ) {
+        let mut node = MemoryNode::new(
+            MemoryWorkloadKind::Sql,
+            MemoryNodeConfig { batches: 64, accesses_per_sec: 5_000.0, ..Default::default() },
+        );
+        let mut now = Timestamp::ZERO;
+        for (batch, to_remote) in moves {
+            if to_remote {
+                node.migrate_to_remote(batch);
+            } else {
+                node.migrate_to_local(batch);
+            }
+            now = now + SimDuration::from_millis(200);
+            node.advance_to(now);
+            prop_assert_eq!(node.local_batch_count() + node.remote_batch_count(), 64);
+            let recent = node.recent_remote_fraction();
+            prop_assert!((0.0..=1.0).contains(&recent));
+        }
+        // With everything restored local, no further remote accesses accrue.
+        node.restore_all_local(None);
+        let remote_before = node.remote_accesses();
+        node.advance_to(now + SimDuration::from_secs(5));
+        prop_assert_eq!(node.remote_accesses(), remote_before);
+    }
+}
