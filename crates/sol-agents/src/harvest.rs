@@ -240,13 +240,8 @@ impl Model for HarvestModel {
 
     fn predict(&mut self, now: Timestamp) -> Option<Prediction<CoreDemandPrediction>> {
         let features = self.prev_features.clone()?;
-        let cores = if self.config.broken_model {
-            0
-        } else {
-            self.classifier.predict(&features)
-        };
-        let cores_needed =
-            (cores + self.config.safety_buffer_cores).min(self.total_cores).max(1);
+        let cores = if self.config.broken_model { 0 } else { self.classifier.predict(&features) };
+        let cores_needed = (cores + self.config.safety_buffer_cores).min(self.total_cores).max(1);
         Some(Prediction::model(
             CoreDemandPrediction { cores_needed },
             now,
@@ -397,8 +392,7 @@ mod tests {
     fn harvests_cores_with_small_latency_impact() {
         let service = BurstyService::image_dnn();
         let base_latency = service.base_latency_ms;
-        let (node, stats) =
-            run(service, HarvestConfig::default(), harvest_schedule(), 60);
+        let (node, stats) = run(service, HarvestConfig::default(), harvest_schedule(), 60);
         let harvested = node.with(|n| n.harvested_core_seconds());
         let p99 = node.with(|n| n.p99_latency_ms());
         assert!(stats.model.epochs_completed > 500);
@@ -419,13 +413,10 @@ mod tests {
     #[test]
     fn broken_model_without_safeguards_hurts_latency_more() {
         let service = BurstyService::image_dnn();
-        let unsafe_config = HarvestConfig {
-            broken_model: true,
-            ..HarvestConfig::without_safeguards()
-        };
+        let unsafe_config =
+            HarvestConfig { broken_model: true, ..HarvestConfig::without_safeguards() };
         let safe_config = HarvestConfig { broken_model: true, ..HarvestConfig::default() };
-        let (unsafe_node, _) =
-            run(service.clone(), unsafe_config, harvest_schedule(), 30);
+        let (unsafe_node, _) = run(service.clone(), unsafe_config, harvest_schedule(), 30);
         let (safe_node, _) = run(service, safe_config, harvest_schedule(), 30);
         // The P99 saturates at the worst-case value for both configurations
         // (a single starved control interval is enough), so compare the mean

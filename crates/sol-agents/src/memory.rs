@@ -263,8 +263,7 @@ impl MemoryModel {
                 if b.scans_this_epoch == 0 {
                     0.0
                 } else {
-                    let pages_per_scan =
-                        b.pages_seen_this_epoch as f64 / b.scans_this_epoch as f64;
+                    let pages_per_scan = b.pages_seen_this_epoch as f64 / b.scans_this_epoch as f64;
                     let interval = SCAN_INTERVALS[b.arm].as_secs_f64();
                     pages_per_scan / interval
                 }
@@ -371,8 +370,7 @@ impl Model for MemoryModel {
             if state.scans_this_epoch == 0 {
                 continue;
             }
-            let pages_per_scan =
-                state.pages_seen_this_epoch as f64 / state.scans_this_epoch as f64;
+            let pages_per_scan = state.pages_seen_this_epoch as f64 / state.scans_this_epoch as f64;
             let occupancy = pages_per_scan / 512.0;
             if occupancy >= 0.6 {
                 // Under-sampled: the current interval is too slow.
@@ -401,12 +399,12 @@ impl Model for MemoryModel {
                 // accesses), so the estimate inverts the occupancy formula
                 // rather than scaling linearly.
                 let pages = 512.0;
-                let pages_per_fast_scan = state.pages_seen_this_epoch as f64
-                    / state.scans_this_epoch.max(1) as f64;
+                let pages_per_fast_scan =
+                    state.pages_seen_this_epoch as f64 / state.scans_this_epoch.max(1) as f64;
                 let occupancy = (pages_per_fast_scan / pages).min(0.999);
                 let accesses_per_fast = -pages * (1.0 - occupancy).ln();
-                let slowdown = SCAN_INTERVALS[state.arm].as_secs_f64()
-                    / SCAN_INTERVALS[0].as_secs_f64();
+                let slowdown =
+                    SCAN_INTERVALS[state.arm].as_secs_f64() / SCAN_INTERVALS[0].as_secs_f64();
                 let pages_per_slow_scan =
                     pages * (1.0 - (-accesses_per_fast * slowdown / pages).exp());
                 // Compare bits observed per unit time.
@@ -455,11 +453,7 @@ impl Model for MemoryModel {
         for &idx in order.iter().take(offload) {
             classes[idx] = BatchClass::Warm;
         }
-        Prediction::fallback(
-            PlacementPlan { classes },
-            now,
-            now + self.config.prediction_validity,
-        )
+        Prediction::fallback(PlacementPlan { classes }, now, now + self.config.prediction_validity)
     }
 
     fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
@@ -620,7 +614,7 @@ mod tests {
         let baseline = shared_node(MemoryWorkloadKind::SpecJbb);
         let mut t = Timestamp::ZERO;
         while t < Timestamp::from_secs(300) {
-            t = t + SimDuration::from_millis(300);
+            t += SimDuration::from_millis(300);
             baseline.with(|n| {
                 n.advance_to(t);
                 for b in 0..n.batch_count() {

@@ -184,10 +184,7 @@ impl OverclockModel {
     }
 
     fn freq_index(&self, ghz: f64) -> usize {
-        self.frequencies
-            .iter()
-            .position(|f| (f - ghz).abs() < 1e-9)
-            .unwrap_or(0)
+        self.frequencies.iter().position(|f| (f - ghz).abs() < 1e-9).unwrap_or(0)
     }
 
     fn state(&self, alpha: f64, freq_ghz: f64) -> usize {
@@ -197,8 +194,7 @@ impl OverclockModel {
     /// Reward of running the epoch at `freq_ghz` while observing `ips`.
     fn reward(&self, ips: f64, freq_ghz: f64) -> f64 {
         let perf = (ips / self.max_plausible_ips).clamp(0.0, 1.0) * REWARD_PERF_WEIGHT;
-        let power_premium =
-            (freq_ghz - self.nominal_ghz) / self.nominal_ghz * REWARD_POWER_WEIGHT;
+        let power_premium = (freq_ghz - self.nominal_ghz) / self.nominal_ghz * REWARD_POWER_WEIGHT;
         perf - power_premium
     }
 
@@ -277,8 +273,7 @@ impl Model for OverclockModel {
             (chosen.action, chosen.kind == sol_ml::qlearning::ActionKind::Explore)
         };
         self.prev_action = Some(action);
-        let decision =
-            FrequencyDecision { frequency_ghz: self.frequencies[action], exploration };
+        let decision = FrequencyDecision { frequency_ghz: self.frequencies[action], exploration };
         Some(Prediction::model(decision, now, now + self.config.prediction_validity))
     }
 
@@ -294,8 +289,7 @@ impl Model for OverclockModel {
         if !self.config.model_safeguard || self.reward_deltas.is_empty() {
             return ModelAssessment::Healthy;
         }
-        let avg: f64 =
-            self.reward_deltas.iter().sum::<f64>() / self.reward_deltas.len() as f64;
+        let avg: f64 = self.reward_deltas.iter().sum::<f64>() / self.reward_deltas.len() as f64;
         if avg < self.config.reward_delta_threshold {
             ModelAssessment::failing(format!(
                 "average overclocking reward delta {avg:.3} below threshold"
@@ -402,7 +396,10 @@ pub fn smart_overclock(
     node: &Shared<CpuNode>,
     config: OverclockConfig,
 ) -> (OverclockModel, OverclockActuator) {
-    (OverclockModel::new(node.clone(), config.clone()), OverclockActuator::new(node.clone(), config))
+    (
+        OverclockModel::new(node.clone(), config.clone()),
+        OverclockActuator::new(node.clone(), config),
+    )
 }
 
 #[cfg(test)]
@@ -430,7 +427,8 @@ mod tests {
 
     #[test]
     fn learns_to_overclock_cpu_bound_workload() {
-        let (node, stats) = run(OverclockWorkloadKind::ObjectStore, OverclockConfig::default(), 300);
+        let (node, stats) =
+            run(OverclockWorkloadKind::ObjectStore, OverclockConfig::default(), 300);
         assert!(stats.model.epochs_completed > 200);
         // The learned policy should outperform a static nominal run.
         let baseline = shared_node(OverclockWorkloadKind::ObjectStore);
@@ -483,10 +481,8 @@ mod tests {
 
     #[test]
     fn broken_model_without_safeguard_is_not_intercepted() {
-        let config = OverclockConfig {
-            broken_model: true,
-            ..OverclockConfig::without_safeguards()
-        };
+        let config =
+            OverclockConfig { broken_model: true, ..OverclockConfig::without_safeguards() };
         let (_, stats) = run(OverclockWorkloadKind::DiskSpeed, config, 120);
         assert_eq!(stats.model.intercepted_predictions, 0);
     }

@@ -1,10 +1,10 @@
 //! Ablation of SmartOverclock design choices called out in DESIGN.md:
 //! exploration rate and Actuator-safeguard threshold.
 
+use sol_agents::overclock::OverclockConfig;
 use sol_bench::overclock_experiments::run_smart_overclock;
 use sol_bench::report::{fmt, print_table};
 use sol_core::time::SimDuration;
-use sol_agents::overclock::OverclockConfig;
 use sol_node_sim::workload::OverclockWorkloadKind;
 
 fn main() {

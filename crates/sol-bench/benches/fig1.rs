@@ -9,14 +9,7 @@ fn main() {
     let horizon = SimDuration::from_secs(horizon_secs());
     let rows: Vec<Vec<String>> = fig1(horizon)
         .into_iter()
-        .map(|r| {
-            vec![
-                r.workload,
-                r.policy,
-                fmt(r.normalized_performance),
-                fmt(r.normalized_power),
-            ]
-        })
+        .map(|r| vec![r.workload, r.policy, fmt(r.normalized_performance), fmt(r.normalized_power)])
         .collect();
     print_table(
         "Figure 1: SmartOverclock vs static overclocking (normalized to static 1.5 GHz)",

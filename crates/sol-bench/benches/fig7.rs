@@ -23,7 +23,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 7: SmartMemory vs static access-bit scanning",
-        &["Workload", "Policy", "Reset reduction vs 300 ms", "Local size reduction", "SLO attainment"],
+        &[
+            "Workload",
+            "Policy",
+            "Reset reduction vs 300 ms",
+            "Local size reduction",
+            "SLO attainment",
+        ],
         &rows,
     );
 }

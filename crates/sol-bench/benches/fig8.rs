@@ -23,7 +23,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 8: SmartMemory safeguard ablation on oscillating SpecJBB (80% local-access SLO)",
-        &["Safeguards", "SLO attainment", "Mean remote fraction", "Mitigations", "Intercepted preds"],
+        &[
+            "Safeguards",
+            "SLO attainment",
+            "Mean remote fraction",
+            "Mitigations",
+            "Intercepted preds",
+        ],
         &rows,
     );
 }

@@ -50,7 +50,7 @@ fn run_once(
         let mut t = Timestamp::ZERO + service.burst_period;
         while t < Timestamp::ZERO + horizon {
             runtime.delay_model_at(t, SimDuration::from_secs(1));
-            t = t + service.burst_period * 4;
+            t += service.burst_period * 4;
         }
     }
     let report = runtime.run_for(horizon).expect("non-empty horizon");
@@ -59,8 +59,7 @@ fn run_once(
 
 fn baseline_latencies(service: &BurstyService, horizon: SimDuration) -> (f64, f64) {
     // No harvesting at all: the primary VM keeps every core.
-    let node =
-        Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
+    let node = Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
     node.with(|n| n.advance_to(Timestamp::ZERO + horizon));
     node.with(|n| (n.mean_latency_ms(), n.p99_latency_ms().max(n.mean_latency_ms())))
 }
@@ -73,7 +72,12 @@ fn outcome(
     baseline: (f64, f64),
 ) -> HarvestOutcome {
     let (mean, p99, starved, harvested) = node.with(|n| {
-        (n.mean_latency_ms(), n.p99_latency_ms(), n.starvation_fraction(), n.harvested_core_seconds())
+        (
+            n.mean_latency_ms(),
+            n.p99_latency_ms(),
+            n.starvation_fraction(),
+            n.harvested_core_seconds(),
+        )
     });
     HarvestOutcome {
         workload: service.name().to_string(),
@@ -95,8 +99,7 @@ pub fn fig6_invalid_data(horizon: SimDuration) -> Vec<HarvestOutcome> {
         let baseline = baseline_latencies(&service, horizon);
         for (variant, validate) in [("with safeguard", true), ("without safeguard", false)] {
             let config = HarvestConfig { validate_data: validate, ..HarvestConfig::default() };
-            let (node, _) =
-                run_once(service.clone(), config, harvest_schedule(), horizon, false);
+            let (node, _) = run_once(service.clone(), config, harvest_schedule(), horizon, false);
             rows.push(outcome(&service, "invalid data", variant, &node, baseline));
         }
     }
@@ -115,8 +118,7 @@ pub fn fig6_broken_model(horizon: SimDuration) -> Vec<HarvestOutcome> {
             } else {
                 HarvestConfig { broken_model: true, ..HarvestConfig::without_safeguards() }
             };
-            let (node, _) =
-                run_once(service.clone(), config, harvest_schedule(), horizon, false);
+            let (node, _) = run_once(service.clone(), config, harvest_schedule(), horizon, false);
             rows.push(outcome(&service, "broken model", variant, &node, baseline));
         }
     }
@@ -208,14 +210,10 @@ mod tests {
     fn non_blocking_actuator_beats_blocking_under_delays() {
         let rows = fig6_delayed_predictions(SHORT);
         for service in ["image-dnn", "moses"] {
-            let non_blocking = rows
-                .iter()
-                .find(|r| r.workload == service && r.variant == "non-blocking")
-                .unwrap();
-            let blocking = rows
-                .iter()
-                .find(|r| r.workload == service && r.variant == "blocking")
-                .unwrap();
+            let non_blocking =
+                rows.iter().find(|r| r.workload == service && r.variant == "non-blocking").unwrap();
+            let blocking =
+                rows.iter().find(|r| r.workload == service && r.variant == "blocking").unwrap();
             assert!(
                 blocking.normalized_mean_latency >= non_blocking.normalized_mean_latency,
                 "{service}: blocking {} vs non-blocking {}",

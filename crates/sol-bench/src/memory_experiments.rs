@@ -62,7 +62,7 @@ pub fn run_static_scanning(
                     }
                 }
             });
-            next_scan = next_scan + interval;
+            next_scan += interval;
         }
         if now >= next_plan {
             // Classify: hottest batches covering 80% of observed page
@@ -85,7 +85,7 @@ pub fn run_static_scanning(
             });
             pages_per_batch.iter_mut().for_each(|p| *p = 0.0);
             scans_per_batch.iter_mut().for_each(|s| *s = 0);
-            next_plan = next_plan + epoch;
+            next_plan += epoch;
         }
     }
     let (resets, local, slo) = node.with(|n| {
@@ -164,8 +164,7 @@ pub fn fig7(horizon: SimDuration) -> Vec<Fig7Row> {
                 workload: outcome.workload.clone(),
                 policy: outcome.policy.clone(),
                 reset_reduction_pct: (1.0
-                    - outcome.access_bit_resets as f64
-                        / fastest.access_bit_resets.max(1) as f64)
+                    - outcome.access_bit_resets as f64 / fastest.access_bit_resets.max(1) as f64)
                     * 100.0,
                 local_size_reduction_pct: (1.0 - outcome.local_fraction) * 100.0,
                 slo_attainment: outcome.slo_attainment,

@@ -13,7 +13,10 @@ use sol_node_sim::workload::{OverclockWorkloadKind, SyntheticBatch};
 const CORES: usize = 8;
 
 fn make_node(kind: OverclockWorkloadKind) -> Shared<CpuNode> {
-    Shared::new(CpuNode::new(kind.build(CORES), CpuNodeConfig { cores: CORES, ..Default::default() }))
+    Shared::new(CpuNode::new(
+        kind.build(CORES),
+        CpuNodeConfig { cores: CORES, ..Default::default() },
+    ))
 }
 
 /// Outcome of running one overclocking policy on one workload.
@@ -131,12 +134,9 @@ pub struct Fig2Row {
 /// Figure 2: data-validation safeguard under injected out-of-range IPS
 /// readings (Synthetic workload).
 pub fn fig2(horizon: SimDuration, bad_fractions: &[f64]) -> Vec<Fig2Row> {
-    let ideal = run_smart_overclock(
-        OverclockWorkloadKind::Synthetic,
-        OverclockConfig::default(),
-        horizon,
-    )
-    .0;
+    let ideal =
+        run_smart_overclock(OverclockWorkloadKind::Synthetic, OverclockConfig::default(), horizon)
+            .0;
     let mut rows = Vec::new();
     for &fraction in bad_fractions {
         for validation in [true, false] {
@@ -251,17 +251,20 @@ pub fn fig4(horizon: SimDuration) -> Vec<Fig4Row> {
                 .filter(|p| p.at >= window_start && p.at < window_end)
                 .map(|p| p.power_watts)
                 .collect();
-            if pts.is_empty() { 0.0 } else { pts.iter().sum::<f64>() / pts.len() as f64 }
+            if pts.is_empty() {
+                0.0
+            } else {
+                pts.iter().sum::<f64>() / pts.len() as f64
+            }
         });
         (window_power, report.stats)
     };
 
     let (baseline_power, _) = run(overclock_schedule(), false);
     let mut rows = Vec::new();
-    for (name, schedule) in [
-        ("non-blocking", overclock_schedule()),
-        ("blocking", blocking_overclock_schedule()),
-    ] {
+    for (name, schedule) in
+        [("non-blocking", overclock_schedule()), ("blocking", blocking_overclock_schedule())]
+    {
         let (power, stats) = run(schedule, true);
         rows.push(Fig4Row {
             actuator: name.to_string(),

@@ -133,8 +133,8 @@ impl<M: Model> ModelLoop<M> {
             return Some(self.finish_epoch_short_circuit(now));
         }
 
-        let epoch_elapsed = now.duration_since(self.epoch_start)
-            + self.schedule.data_collect_interval();
+        let epoch_elapsed =
+            now.duration_since(self.epoch_start) + self.schedule.data_collect_interval();
         let epoch_timed_out = epoch_elapsed >= self.schedule.max_epoch_time();
         let enough_data = self.collected >= self.schedule.data_per_epoch();
 
@@ -341,7 +341,7 @@ impl<A: Actuator> ActuatorLoop<A> {
 
     fn run_safeguard_if_due(&mut self, now: Timestamp) {
         while now >= self.next_assessment {
-            self.next_assessment = self.next_assessment + self.schedule.assess_actuator_interval();
+            self.next_assessment += self.schedule.assess_actuator_interval();
             self.stats.performance_assessments += 1;
             let acceptable = self.actuator.assess_performance(now).is_acceptable();
             match (acceptable, self.halted_since) {

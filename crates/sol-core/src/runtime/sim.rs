@@ -13,6 +13,9 @@ use crate::schedule::Schedule;
 use crate::stats::AgentStats;
 use crate::time::{Clock, SimDuration, Timestamp, VirtualClock};
 
+/// An arbitrary environment mutation applied at a scheduled time.
+type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
+
 /// A scheduled disturbance injected into a running agent, mirroring the
 /// failure-injection methodology of paper §6 (scheduling delays, environment
 /// changes at known times).
@@ -24,7 +27,7 @@ enum Intervention<E> {
     DelayActuator { duration: SimDuration },
     /// Arbitrary change applied to the environment (e.g. toggle a fault
     /// injector, change a workload phase).
-    Mutate(Box<dyn FnMut(&mut E, Timestamp) + Send>),
+    Mutate(MutateFn<E>),
 }
 
 struct ScheduledIntervention<E> {
@@ -122,8 +125,10 @@ where
     /// loop will not run for `duration` (paper §6: "we inject a 30-second
     /// delay in the Model thread").
     pub fn delay_model_at(&mut self, at: Timestamp, duration: SimDuration) {
-        self.interventions
-            .push(ScheduledIntervention { at, intervention: Intervention::DelayModel { duration } });
+        self.interventions.push(ScheduledIntervention {
+            at,
+            intervention: Intervention::DelayModel { duration },
+        });
     }
 
     /// Schedules an Actuator-loop scheduling delay starting at `at`.
@@ -247,8 +252,7 @@ where
                     self.actuator_loop.deliver(prediction);
                 }
             }
-            let actuator_delayed =
-                self.actuator_delayed_until.map(|t| next < t).unwrap_or(false);
+            let actuator_delayed = self.actuator_delayed_until.map(|t| next < t).unwrap_or(false);
             if !actuator_delayed && self.actuator_loop.next_wake() <= next {
                 self.actuator_loop.step(next);
             }

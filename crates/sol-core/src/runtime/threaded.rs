@@ -148,7 +148,10 @@ where
     /// # Errors
     ///
     /// Propagates [`RuntimeError::WorkerPanicked`] from [`stop`](Self::stop).
-    pub fn run_for(self, duration: std::time::Duration) -> Result<ThreadedReport<M, A>, RuntimeError> {
+    pub fn run_for(
+        self,
+        duration: std::time::Duration,
+    ) -> Result<ThreadedReport<M, A>, RuntimeError> {
         thread::sleep(duration);
         self.stop()
     }

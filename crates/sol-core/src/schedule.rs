@@ -244,10 +244,7 @@ mod tests {
 
     #[test]
     fn rejects_zero_data_per_epoch() {
-        assert!(matches!(
-            valid().data_per_epoch(0).build(),
-            Err(RuntimeError::InvalidSchedule(_))
-        ));
+        assert!(matches!(valid().data_per_epoch(0).build(), Err(RuntimeError::InvalidSchedule(_))));
     }
 
     #[test]

@@ -312,7 +312,7 @@ impl VirtualClock {
     /// Advances the clock by `d`.
     pub fn advance(&self, d: SimDuration) {
         let mut now = self.now.lock();
-        *now = *now + d;
+        *now += d;
     }
 
     /// Moves the clock to `t`.

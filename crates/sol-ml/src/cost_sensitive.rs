@@ -189,13 +189,7 @@ mod tests {
         let truths = [1usize, 2, 1, 2, 3, 2, 1, 2, 3, 2];
         for _ in 0..300 {
             for &t in &truths {
-                clf.update(&CostSensitiveExample::from_ordinal_truth(
-                    vec![1.0],
-                    t,
-                    5,
-                    20.0,
-                    1.0,
-                ));
+                clf.update(&CostSensitiveExample::from_ordinal_truth(vec![1.0], t, 5, 20.0, 1.0));
             }
         }
         assert!(clf.predict(&[1.0]) >= 3, "should over-provision under asymmetric costs");

@@ -120,13 +120,13 @@ mod tests {
     fn empirical_frequencies_match_probabilities() {
         let z = Zipf::new(20, 1.2);
         let mut rng = seeded_rng(11);
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         let n = 100_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..5 {
-            let freq = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate().take(5) {
+            let freq = f64::from(count) / n as f64;
             assert!(
                 (freq - z.probability(i)).abs() < 0.01,
                 "rank {i}: freq {freq} vs p {}",

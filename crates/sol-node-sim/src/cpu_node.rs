@@ -225,8 +225,7 @@ impl CpuNode {
     /// The largest physically plausible IPS value for this node
     /// (`max_freq * max_IPC * cores`), used by the agent's data validation.
     pub fn max_plausible_ips(&self) -> f64 {
-        let max_freq =
-            self.config.available_ghz.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_freq = self.config.available_ghz.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         max_freq * 1e9 * BASE_IPC * self.config.cores as f64
     }
 
@@ -285,8 +284,11 @@ impl CpuNode {
 
         // Power.
         let utilization = (granted / self.config.cores as f64).clamp(0.0, 1.0);
-        let watts =
-            self.config.power_model.node_power_watts(self.current_ghz, utilization, self.config.cores);
+        let watts = self.config.power_model.node_power_watts(
+            self.current_ghz,
+            utilization,
+            self.config.cores,
+        );
         self.energy.record(watts, dt);
 
         if self.trace_enabled {
@@ -364,8 +366,10 @@ mod tests {
     fn synthetic_idle_phase_has_low_alpha() {
         // A small batch finishes quickly, then the node idles.
         let workload = SyntheticBatch::new(SimDuration::from_secs(1000), 8.0, 8.0);
-        let mut n =
-            CpuNode::new(Box::new(workload), CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() });
+        let mut n = CpuNode::new(
+            Box::new(workload),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        );
         n.advance_to(Timestamp::from_secs(5));
         let _ = n.take_counter_sample().unwrap();
         n.advance_to(Timestamp::from_secs(60));

@@ -222,8 +222,7 @@ impl HarvestNode {
     /// Assigns `cores` to the primary VM (the rest go to the ElasticVM).
     /// Values are clamped to `[min_primary_cores, total_cores]`.
     pub fn set_primary_cores(&mut self, cores: usize) {
-        self.primary_cores =
-            cores.clamp(self.config.min_primary_cores, self.config.total_cores);
+        self.primary_cores = cores.clamp(self.config.min_primary_cores, self.config.total_cores);
     }
 
     /// Returns every core to the primary VM (mitigation / clean-up).
@@ -301,11 +300,8 @@ impl HarvestNode {
         self.total_steps += 1;
 
         // vCPU wait: virtual cores that wanted to run but had no physical core.
-        let wait_ms = if demand > 0.0 {
-            (shortfall / demand) * dt.as_secs_f64() * 1e3
-        } else {
-            0.0
-        };
+        let wait_ms =
+            if demand > 0.0 { (shortfall / demand) * dt.as_secs_f64() * 1e3 } else { 0.0 };
         self.wait_window.push(wait_ms);
         if shortfall > 0.0 {
             self.starved_steps += 1;

@@ -76,11 +76,8 @@ pub enum MemoryWorkloadKind {
 
 impl MemoryWorkloadKind {
     /// The three steady workloads of Figure 7.
-    pub const FIG7: [MemoryWorkloadKind; 3] = [
-        MemoryWorkloadKind::ObjectStore,
-        MemoryWorkloadKind::Sql,
-        MemoryWorkloadKind::SpecJbb,
-    ];
+    pub const FIG7: [MemoryWorkloadKind; 3] =
+        [MemoryWorkloadKind::ObjectStore, MemoryWorkloadKind::Sql, MemoryWorkloadKind::SpecJbb];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -437,13 +434,11 @@ impl MemoryNode {
     /// were local (the paper's SLO attainment metric; `slo_local` is 0.8 for
     /// an 80% local-access SLO).
     pub fn slo_attainment(&self, slo_local: f64) -> f64 {
-        let active: Vec<&RemoteFractionSample> =
-            self.series.iter().filter(|s| s.active).collect();
+        let active: Vec<&RemoteFractionSample> = self.series.iter().filter(|s| s.active).collect();
         if active.is_empty() {
             return 1.0;
         }
-        let met =
-            active.iter().filter(|s| 1.0 - s.remote_fraction >= slo_local - 1e-9).count();
+        let met = active.iter().filter(|s| 1.0 - s.remote_fraction >= slo_local - 1e-9).count();
         met as f64 / active.len() as f64
     }
 
@@ -478,8 +473,7 @@ impl MemoryNode {
         if let Some(at) = self.next_shift {
             if now >= at {
                 self.shift_hot_set();
-                self.next_shift =
-                    self.kind.hot_set_shift_period().map(|p| at + p);
+                self.next_shift = self.kind.hot_set_shift_period().map(|p| at + p);
             }
         }
         if self.kind == MemoryWorkloadKind::OscillatingSpecJbb {
@@ -538,8 +532,7 @@ impl MemoryNode {
         let end = now + dt;
         if end >= self.next_second {
             let total = self.second_local + self.second_remote;
-            let remote_fraction =
-                if total > 0.0 { self.second_remote / total } else { 0.0 };
+            let remote_fraction = if total > 0.0 { self.second_remote / total } else { 0.0 };
             self.series.push(RemoteFractionSample {
                 at: self.next_second,
                 remote_fraction,
@@ -547,7 +540,7 @@ impl MemoryNode {
             });
             self.second_local = 0.0;
             self.second_remote = 0.0;
-            self.next_second = self.next_second + SimDuration::from_secs(1);
+            self.next_second += SimDuration::from_secs(1);
         }
 
         self.now = end;
@@ -630,8 +623,7 @@ mod tests {
 
     #[test]
     fn oscillating_workload_sleeps_and_shifts_hot_set() {
-        let mut node =
-            MemoryNode::new(MemoryWorkloadKind::OscillatingSpecJbb, small_config());
+        let mut node = MemoryNode::new(MemoryWorkloadKind::OscillatingSpecJbb, small_config());
         assert!(node.is_active());
         node.advance_to(Timestamp::from_secs(160));
         assert!(!node.is_active(), "should be sleeping at t=160s");
@@ -673,8 +665,7 @@ mod tests {
 
     #[test]
     fn series_marks_sleep_seconds_inactive() {
-        let mut node =
-            MemoryNode::new(MemoryWorkloadKind::OscillatingSpecJbb, small_config());
+        let mut node = MemoryNode::new(MemoryWorkloadKind::OscillatingSpecJbb, small_config());
         node.advance_to(Timestamp::from_secs(200));
         let series = node.remote_fraction_series();
         assert!(series.iter().any(|s| s.active));

@@ -54,12 +54,8 @@ impl TimeSeries {
 
     /// Mean of values whose timestamps fall in `[from, to)`.
     pub fn mean_between(&self, from: Timestamp, to: Timestamp) -> f64 {
-        let vals: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|(t, _)| *t >= from && *t < to)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            self.points.iter().filter(|(t, _)| *t >= from && *t < to).map(|(_, v)| *v).collect();
         if vals.is_empty() {
             0.0
         } else {

@@ -75,10 +75,8 @@ mod tests {
 
     #[test]
     fn clones_share_state() {
-        let node = Shared::new(HarvestNode::new(
-            BurstyService::image_dnn(),
-            HarvestNodeConfig::default(),
-        ));
+        let node =
+            Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
         let other = node.clone();
         node.lock().set_primary_cores(3);
         assert_eq!(other.lock().primary_cores(), 3);
@@ -87,20 +85,16 @@ mod tests {
 
     #[test]
     fn environment_impl_advances_inner_node() {
-        let mut node = Shared::new(HarvestNode::new(
-            BurstyService::moses(),
-            HarvestNodeConfig::default(),
-        ));
+        let mut node =
+            Shared::new(HarvestNode::new(BurstyService::moses(), HarvestNodeConfig::default()));
         node.advance_to(Timestamp::from_secs(2));
         assert_eq!(node.lock().now(), Timestamp::from_secs(2));
     }
 
     #[test]
     fn with_returns_closure_result() {
-        let node = Shared::new(HarvestNode::new(
-            BurstyService::moses(),
-            HarvestNodeConfig::default(),
-        ));
+        let node =
+            Shared::new(HarvestNode::new(BurstyService::moses(), HarvestNodeConfig::default()));
         let cores = node.with(|n| n.total_cores());
         assert_eq!(cores, 8);
     }

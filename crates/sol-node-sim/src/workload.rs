@@ -136,7 +136,7 @@ impl SyntheticBatch {
             }
             // Arrivals are strictly periodic; if a batch is still running the
             // new arrival's work piles on top (back-to-back batches).
-            self.next_arrival = self.next_arrival + self.period;
+            self.next_arrival += self.period;
         }
     }
 }

@@ -9,8 +9,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = SimDuration::from_secs(90);
     for service in [BurstyService::image_dnn(), BurstyService::moses()] {
         // Baseline: the primary VM keeps all cores.
-        let baseline =
-            Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
+        let baseline = Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
         baseline.with(|n| n.advance_to(Timestamp::ZERO + horizon));
         let baseline_p99 = baseline.with(|n| n.p99_latency_ms());
 

@@ -19,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 n.set_frequency_ghz(freq);
                 n.advance_to(Timestamp::ZERO + horizon);
             });
-            let (score, power) =
-                node.with(|n| (n.performance().score, n.average_power_watts()));
+            let (score, power) = node.with(|n| (n.performance().score, n.average_power_watts()));
             println!(
                 "{:<12} static {:>3.1} GHz    {:>10.4}   {:>10.1}",
                 kind.name(),

@@ -40,10 +40,8 @@ fn smart_overclock_full_stack_improves_perf_per_watt() {
 
 #[test]
 fn smart_harvest_full_stack_harvests_and_respects_wait_safeguard() {
-    let node = Shared::new(HarvestNode::new(
-        BurstyService::image_dnn(),
-        HarvestNodeConfig::default(),
-    ));
+    let node =
+        Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
     let (model, actuator) = smart_harvest(&node, HarvestConfig::default());
     let runtime = SimRuntime::new(model, actuator, harvest_schedule(), node.clone());
     let report = runtime.run_for(SimDuration::from_secs(60)).unwrap();

@@ -1,0 +1,68 @@
+//! Determinism regression tests: the discrete-event runtime must be exactly
+//! reproducible. Two `SimRuntime` runs with identical config and seed have to
+//! produce byte-identical `SimReport` stats (compared via their full `Debug`
+//! rendering, so any new non-deterministic field shows up as a diff) and
+//! identical environment metrics.
+
+use sol_agents::prelude::*;
+use sol_core::prelude::*;
+use sol_node_sim::prelude::*;
+
+/// Renders a value's full Debug output as bytes for exact comparison.
+fn debug_bytes<T: std::fmt::Debug>(value: &T) -> Vec<u8> {
+    format!("{value:#?}").into_bytes()
+}
+
+#[test]
+fn smart_overclock_runs_are_byte_identical() {
+    let run = || {
+        let node = Shared::new(CpuNode::new(
+            OverclockWorkloadKind::Synthetic.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        ));
+        let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
+        let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+        let report = runtime.run_for(SimDuration::from_secs(120)).unwrap();
+        let stats = debug_bytes(&report.stats);
+        let metrics =
+            node.with(|n| (debug_bytes(&n.energy_joules()), debug_bytes(&n.performance().score)));
+        (stats, metrics, report.ended_at)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn smart_harvest_runs_are_byte_identical() {
+    let run = || {
+        let node =
+            Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+        let (model, actuator) = smart_harvest(&node, HarvestConfig::default());
+        let runtime = SimRuntime::new(model, actuator, harvest_schedule(), node.clone());
+        let report = runtime.run_for(SimDuration::from_secs(60)).unwrap();
+        let stats = debug_bytes(&report.stats);
+        let metrics = node.with(|n| {
+            (debug_bytes(&n.harvested_core_seconds()), debug_bytes(&n.mean_latency_ms()))
+        });
+        (stats, metrics, report.ended_at)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn smart_memory_runs_are_byte_identical() {
+    let run = || {
+        let node = Shared::new(MemoryNode::new(
+            MemoryWorkloadKind::Sql,
+            MemoryNodeConfig { batches: 64, accesses_per_sec: 10_000.0, ..Default::default() },
+        ));
+        let (model, actuator) = smart_memory(&node, MemoryConfig::default());
+        let runtime = SimRuntime::new(model, actuator, memory_schedule(), node.clone());
+        let report = runtime.run_for(SimDuration::from_secs(120)).unwrap();
+        let stats = debug_bytes(&report.stats);
+        let metrics = node.with(|n| {
+            (debug_bytes(&n.local_batch_count()), debug_bytes(&n.recent_remote_fraction()))
+        });
+        (stats, metrics, report.ended_at)
+    };
+    assert_eq!(run(), run());
+}

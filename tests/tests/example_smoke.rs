@@ -1,0 +1,55 @@
+//! Smoke tests: every example in `examples/` must run to completion.
+//!
+//! Each test shells out to `cargo run --example <name>` at the workspace root
+//! using the same cargo that launched the test run. Concurrent invocations
+//! serialize on cargo's target-directory lock, so these are safe to run in
+//! parallel with the rest of the suite.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(&workspace_root)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output; expected a printed report"
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn overclocking_example_runs() {
+    run_example("overclocking");
+}
+
+#[test]
+fn harvesting_example_runs() {
+    run_example("harvesting");
+}
+
+#[test]
+fn tiered_memory_example_runs() {
+    run_example("tiered_memory");
+}
+
+#[test]
+fn failure_injection_example_runs() {
+    run_example("failure_injection");
+}

@@ -23,7 +23,7 @@ proptest! {
         let mut now = Timestamp::ZERO;
         let mut last_energy = 0.0;
         for ms in cuts {
-            now = now + SimDuration::from_millis(ms);
+            now += SimDuration::from_millis(ms);
             node.advance_to(now);
             prop_assert!(node.energy_joules() >= last_energy);
             last_energy = node.energy_joules();
@@ -42,7 +42,7 @@ proptest! {
         let mut now = Timestamp::ZERO;
         for cores in assignments {
             node.set_primary_cores(cores);
-            now = now + SimDuration::from_millis(50);
+            now += SimDuration::from_millis(50);
             node.advance_to(now);
             prop_assert_eq!(node.primary_cores() + node.harvested_cores(), node.total_cores());
             prop_assert!(node.primary_cores() >= 1);
@@ -66,7 +66,7 @@ proptest! {
             } else {
                 node.migrate_to_local(batch);
             }
-            now = now + SimDuration::from_millis(200);
+            now += SimDuration::from_millis(200);
             node.advance_to(now);
             prop_assert_eq!(node.local_batch_count() + node.remote_batch_count(), 64);
             let recent = node.recent_remote_fraction();

@@ -1,0 +1,98 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small slice of the criterion API the `micro` bench target
+//! uses: [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a simple
+//! mean-of-samples over wall-clock batches — adequate for spotting
+//! order-of-magnitude regressions, with no statistics, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { total_nanos: 0.0, iters: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let per_iter = bencher.total_nanos / bencher.iters.max(1) as f64;
+        println!("bench: {name:<45} {per_iter:>12.1} ns/iter ({} iters)", bencher.iters);
+        self
+    }
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    total_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` in a timed batch, accumulating into the sample mean.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // A fixed batch size amortizes the Instant overhead; black_box keeps
+        // the result (and thus the routine) from being optimized away.
+        const BATCH: u64 = 100;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos() as f64;
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group as a plain function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running every group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `crossbeam`, covering the channel API the threaded
+//! runtime uses. `std::sync::mpsc` provides the same unbounded MPSC semantics
+//! and an identical `RecvTimeoutError`, so the mapping is direct.
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels (crossbeam-channel subset).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

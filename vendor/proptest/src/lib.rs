@@ -1,0 +1,191 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the integration suites use — the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range / tuple /
+//! collection / `any::<T>()` strategies, and [`ProptestConfig`] — backed by a
+//! deterministic RNG. Unlike real proptest there is no shrinking and no
+//! persistence file: every run draws the same cases because the per-test seed
+//! is derived from a fixed constant and the test's name (override the constant
+//! with `SOL_PROPTEST_SEED` to explore a different fixed stream). This
+//! determinism is deliberate: the tier-1 pipeline must be reproducible.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Arbitrary, Strategy};
+
+/// Base seed mixed with each test's name to pin the case stream. All suites
+/// are reproducible run-to-run because this never changes within a build.
+pub const DEFAULT_BASE_SEED: u64 = 0x501_CAFE_F00D;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case: carries the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the cases of one property: owns the RNG and the case budget.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the fixed base seed and the
+    /// property's name, so each property sees a stable but distinct stream.
+    pub fn new(config: &ProptestConfig, test_name: &str) -> Self {
+        let base = std::env::var("SOL_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_BASE_SEED);
+        // FNV-1a over the test name keeps seeds stable across runs and rustc
+        // versions (unlike `DefaultHasher`, which is unspecified).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(base ^ h), cases: config.cases }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's RNG, handed to strategies when sampling a case.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn` is run against `cases` sampled inputs.
+///
+/// Supports the standard proptest surface used in this repo:
+/// `#![proptest_config(...)]`, doc comments, `#[test]` attributes, and
+/// `pattern in strategy` argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), runner.rng());)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but reports the failure through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failure through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but reports the failure through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository builds in an environment without crates.io access, and no
+//! code path serializes anything yet. This stub keeps the `#[derive(Serialize,
+//! Deserialize)]` annotations on the public types compiling so a real serde
+//! can be dropped in later without touching the domain crates: the traits are
+//! markers with blanket impls, and the derives (re-exported from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace runs in an environment without access to crates.io, and
+//! nothing in the codebase actually serializes data yet — the derives exist so
+//! the public types are serialization-ready the moment a real backend is
+//! wired in. The companion `serde` stub blanket-implements its marker traits,
+//! so these derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize`; the `serde` stub's blanket impl covers every
+/// type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize`; the `serde` stub's blanket impl covers
+/// every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
