@@ -1,5 +1,5 @@
 //! SmartHarvest: a CPU-harvesting agent (paper §5.2, originally from
-//! EuroSys'21 [37]).
+//! EuroSys'21 \[37\]).
 //!
 //! The agent opportunistically "harvests" CPU cores that were allocated to a
 //! primary VM but are currently idle, loaning them to an ElasticVM and

@@ -10,6 +10,9 @@
 //!   predicts near-future CPU demand so idle cores can be loaned out safely.
 //! * [`memory`] — **SmartMemory**: Thompson-sampling access-bit scanning and
 //!   hot/warm/cold page classification for two-tier memory.
+//! * [`colocation`] — SmartOverclock and SmartHarvest co-located on one
+//!   shared node, driven by the multi-agent
+//!   [`NodeRuntime`](sol_core::runtime::node::NodeRuntime).
 //!
 //! Each module provides a `Model`/`Actuator` pair, a `*_schedule()` helper
 //! matching the paper's control-loop timing, configuration structs with
@@ -19,12 +22,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod colocation;
 pub mod harvest;
 pub mod memory;
 pub mod overclock;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::colocation::{colocated_agents, ColocatedAgents, ColocationConfig};
     pub use crate::harvest::{
         blocking_harvest_schedule, harvest_schedule, smart_harvest, CoreDemandPrediction,
         HarvestActuator, HarvestConfig, HarvestModel,

@@ -1,0 +1,48 @@
+//! Beyond the paper: the co-location interference table. SmartOverclock and
+//! SmartHarvest solo, co-located on separate frequency domains, co-located on
+//! a shared frequency domain, and with a targeted Model-thread delay.
+
+use sol_bench::colocation_experiments::interference_table;
+use sol_bench::report::{fmt, print_table};
+use sol_core::time::SimDuration;
+
+fn main() {
+    let horizon = SimDuration::from_secs(horizon_secs());
+    let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".into());
+    let rows: Vec<Vec<String>> = interference_table(horizon)
+        .into_iter()
+        .map(|r| {
+            let oc = r.overclock_stats;
+            let hv = r.harvest_stats;
+            vec![
+                r.scenario,
+                opt(r.perf_score),
+                opt(r.avg_power_watts),
+                opt(r.p99_latency_ms),
+                opt(r.harvested_core_seconds),
+                oc.map(|s| s.model.epochs_completed.to_string()).unwrap_or_else(|| "-".into()),
+                hv.map(|s| {
+                    format!("{} / {}", s.model.default_predictions, s.actuator.safeguard_triggers)
+                })
+                .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Co-location: per-agent outcomes on one shared node",
+        &[
+            "Scenario",
+            "Perf score",
+            "Avg power W",
+            "P99 latency ms",
+            "Harvested core-s",
+            "OC epochs",
+            "HV defaults/trips",
+        ],
+        &rows,
+    );
+}
+
+fn horizon_secs() -> u64 {
+    std::env::var("SOL_HORIZON_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(120)
+}

@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks of the framework and ML kernels: the per-epoch
 //! cost an agent adds to a node (paper §6.1 notes the runtime requires very
-//! few resources).
+//! few resources), plus the event-queue hot path of the node runtime.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sol_core::error::DataError;
+use sol_core::prelude::*;
 use sol_ml::cost_sensitive::{CostSensitiveClassifier, CostSensitiveExample};
 use sol_ml::features::DistributionalFeatures;
 use sol_ml::qlearning::{QConfig, QLearner};
@@ -40,9 +42,93 @@ fn ml_kernels(c: &mut Criterion) {
     });
 }
 
+/// A trivial model/actuator pair: the bench measures the runtime's event
+/// dispatch, not agent work.
+struct NoopModel;
+
+impl Model for NoopModel {
+    type Data = f64;
+    type Pred = f64;
+    fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> {
+        Ok(1.0)
+    }
+    fn validate_data(&self, _d: &f64) -> bool {
+        true
+    }
+    fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
+    fn update_model(&mut self, _now: Timestamp) {}
+    fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+        Some(Prediction::model(1.0, now, now + SimDuration::from_secs(1)))
+    }
+    fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+        Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+    }
+    fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
+        ModelAssessment::Healthy
+    }
+}
+
+struct NoopActuator;
+
+impl Actuator for NoopActuator {
+    type Pred = f64;
+    fn take_action(&mut self, _now: Timestamp, _pred: Option<&Prediction<f64>>) {}
+    fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+        ActuatorAssessment::Acceptable
+    }
+    fn mitigate(&mut self, _now: Timestamp) {}
+    fn clean_up(&mut self, _now: Timestamp) {}
+}
+
+fn bench_schedule() -> Schedule {
+    Schedule::builder()
+        .data_per_epoch(5)
+        .data_collect_interval(SimDuration::from_millis(10))
+        .max_epoch_time(SimDuration::from_secs(1))
+        .assess_model_every_epochs(1)
+        .max_actuation_delay(SimDuration::from_millis(100))
+        .assess_actuator_interval(SimDuration::from_millis(50))
+        .build()
+        .expect("static schedule is valid")
+}
+
+/// The event-queue hot path: one virtual minute of ticks (6 000 collects per
+/// agent plus actuator deadlines and environment-step boundaries), with no
+/// agent work to drown out the scheduler itself.
+fn runtime_event_queue(c: &mut Criterion) {
+    c.bench_function("node_runtime_1_agent_60s_virtual", |b| {
+        b.iter(|| {
+            let mut rt = NodeRuntime::new(NullEnvironment);
+            rt.register_agent("solo", NoopModel, NoopActuator, bench_schedule());
+            rt.run_for(SimDuration::from_secs(60)).expect("non-empty horizon")
+        });
+    });
+
+    c.bench_function("node_runtime_8_agents_60s_virtual", |b| {
+        b.iter(|| {
+            let mut rt = NodeRuntime::new(NullEnvironment);
+            for i in 0..8 {
+                rt.register_agent(format!("agent-{i}"), NoopModel, NoopActuator, bench_schedule());
+            }
+            rt.run_for(SimDuration::from_secs(60)).expect("non-empty horizon")
+        });
+    });
+
+    c.bench_function("node_runtime_delay_interventions_60s_virtual", |b| {
+        b.iter(|| {
+            let mut rt = NodeRuntime::new(NullEnvironment);
+            let id = rt.register_agent("solo", NoopModel, NoopActuator, bench_schedule());
+            for s in 0..30 {
+                rt.delay_model_at(id, Timestamp::from_secs(2 * s), SimDuration::from_millis(500));
+            }
+            rt.run_for(SimDuration::from_secs(60)).expect("non-empty horizon")
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50);
-    targets = ml_kernels
+    targets = ml_kernels, runtime_event_queue
 }
 criterion_main!(benches);

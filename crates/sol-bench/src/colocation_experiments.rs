@@ -1,0 +1,188 @@
+//! Co-location experiments: SmartOverclock and SmartHarvest sharing one node.
+//!
+//! The paper evaluates its agents one at a time; its deployment story (§4.2)
+//! is several agents per node. These experiments measure what co-location
+//! does to each agent's workload outcome and safety counters:
+//!
+//! * each agent **solo** on its own node (the paper's setup),
+//! * both agents **co-located** with separate frequency domains (no physical
+//!   interference — any change is runtime overhead, which must be nil), and
+//! * both agents co-located on a **shared frequency domain**, where
+//!   overclocking speeds up the primary VM and enlarges the harvestable
+//!   pool,
+//!
+//! plus a targeted failure injection: the overclock Model thread is delayed
+//! mid-run while the harvest agent keeps running beside it.
+
+use sol_agents::colocation::{colocated_agents, ColocationConfig};
+use sol_agents::harvest::{harvest_schedule, smart_harvest, HarvestConfig};
+use sol_agents::overclock::{overclock_schedule, smart_overclock, OverclockConfig};
+use sol_core::prelude::*;
+use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+use sol_node_sim::shared::Shared;
+use sol_node_sim::workload::OverclockWorkloadKind;
+
+/// Number of cores used by the co-location experiments.
+const CORES: usize = 8;
+
+/// Outcome of one co-location scenario.
+#[derive(Debug, Clone)]
+pub struct ColocationRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Overclocked workload performance score (if the agent ran).
+    pub perf_score: Option<f64>,
+    /// Average node power of the CPU substrate in watts (if the agent ran).
+    pub avg_power_watts: Option<f64>,
+    /// P99 request latency of the harvest-side primary VM in ms (if the
+    /// agent ran).
+    pub p99_latency_ms: Option<f64>,
+    /// Core-seconds delivered to the ElasticVM (if the agent ran).
+    pub harvested_core_seconds: Option<f64>,
+    /// SmartOverclock runtime counters (if the agent ran).
+    pub overclock_stats: Option<AgentStats>,
+    /// SmartHarvest runtime counters (if the agent ran).
+    pub harvest_stats: Option<AgentStats>,
+}
+
+/// Runs SmartOverclock alone on its own node (the paper's setup).
+pub fn solo_overclock(horizon: SimDuration) -> ColocationRow {
+    let node = Shared::new(CpuNode::new(
+        OverclockWorkloadKind::ObjectStore.build(CORES),
+        CpuNodeConfig { cores: CORES, ..Default::default() },
+    ));
+    let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
+    let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
+    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let (perf, power) = node.with(|n| (n.performance().score, n.average_power_watts()));
+    ColocationRow {
+        scenario: "overclock solo".into(),
+        perf_score: Some(perf),
+        avg_power_watts: Some(power),
+        p99_latency_ms: None,
+        harvested_core_seconds: None,
+        overclock_stats: Some(report.stats),
+        harvest_stats: None,
+    }
+}
+
+/// Runs SmartHarvest alone on its own node (the paper's setup).
+pub fn solo_harvest(horizon: SimDuration) -> ColocationRow {
+    let node =
+        Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+    let (model, actuator) = smart_harvest(&node, HarvestConfig::default());
+    let runtime = SimRuntime::new(model, actuator, harvest_schedule(), node.clone());
+    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let (latency, harvested) = node.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+    ColocationRow {
+        scenario: "harvest solo".into(),
+        perf_score: None,
+        avg_power_watts: None,
+        p99_latency_ms: Some(latency),
+        harvested_core_seconds: Some(harvested),
+        overclock_stats: None,
+        harvest_stats: Some(report.stats),
+    }
+}
+
+/// Runs both agents co-located on one node.
+///
+/// `couple_frequency` selects a shared frequency domain (overclocking speeds
+/// up the primary VM) versus separate domains; `delay_overclock_model`
+/// optionally injects a `(at, duration)` scheduling delay into the overclock
+/// Model thread only.
+pub fn colocated(
+    horizon: SimDuration,
+    couple_frequency: bool,
+    delay_overclock_model: Option<(Timestamp, SimDuration)>,
+    scenario: impl Into<String>,
+) -> ColocationRow {
+    let agents = colocated_agents(ColocationConfig { couple_frequency, ..Default::default() });
+    let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+    let mut runtime = agents.runtime;
+    if let Some((at, duration)) = delay_overclock_model {
+        runtime.delay_model_at(oc, at, duration);
+    }
+    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let (perf, power) = agents.cpu.with(|n| (n.performance().score, n.average_power_watts()));
+    let (latency, harvested) =
+        agents.harvest_node.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+    ColocationRow {
+        scenario: scenario.into(),
+        perf_score: Some(perf),
+        avg_power_watts: Some(power),
+        p99_latency_ms: Some(latency),
+        harvested_core_seconds: Some(harvested),
+        overclock_stats: Some(report.agent(oc).stats.clone()),
+        harvest_stats: Some(report.agent(hv).stats.clone()),
+    }
+}
+
+/// The full interference table: solo baselines, co-location with and without
+/// a shared frequency domain, and a targeted Model delay.
+pub fn interference_table(horizon: SimDuration) -> Vec<ColocationRow> {
+    vec![
+        solo_overclock(horizon),
+        solo_harvest(horizon),
+        colocated(horizon, false, None, "co-located, separate freq domains"),
+        colocated(horizon, true, None, "co-located, shared freq domain"),
+        colocated(
+            horizon,
+            true,
+            Some((Timestamp::from_secs(30), SimDuration::from_secs(30))),
+            "co-located + 30s overclock-model delay",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_table_has_expected_scenarios() {
+        let rows = interference_table(SimDuration::from_secs(20));
+        assert_eq!(rows.len(), 5);
+        // Solo rows only report their own substrate.
+        assert!(rows[0].perf_score.is_some() && rows[0].p99_latency_ms.is_none());
+        assert!(rows[1].perf_score.is_none() && rows[1].p99_latency_ms.is_some());
+        // Co-located rows report both.
+        for row in &rows[2..] {
+            assert!(row.perf_score.is_some() && row.p99_latency_ms.is_some(), "{}", row.scenario);
+            assert!(row.overclock_stats.is_some() && row.harvest_stats.is_some());
+        }
+    }
+
+    #[test]
+    fn uncoupled_colocation_reproduces_solo_agent_behaviour() {
+        let horizon = SimDuration::from_secs(30);
+        let solo = solo_harvest(horizon);
+        let colo = colocated(horizon, false, None, "co-located");
+        // With separate frequency domains, co-location must not change the
+        // harvest agent's behaviour at all: same epochs, same safety
+        // counters, same substrate metrics.
+        assert_eq!(solo.harvest_stats, colo.harvest_stats);
+        assert_eq!(solo.p99_latency_ms, colo.p99_latency_ms);
+        assert_eq!(solo.harvested_core_seconds, colo.harvested_core_seconds);
+    }
+
+    #[test]
+    fn targeted_delay_reduces_overclock_epochs_only() {
+        let horizon = SimDuration::from_secs(60);
+        let clean = colocated(horizon, true, None, "clean");
+        let delayed = colocated(
+            horizon,
+            true,
+            Some((Timestamp::from_secs(10), SimDuration::from_secs(30))),
+            "delayed",
+        );
+        let clean_oc = clean.overclock_stats.unwrap();
+        let delayed_oc = delayed.overclock_stats.unwrap();
+        assert!(delayed_oc.model.epochs_completed < clean_oc.model.epochs_completed);
+        // The harvest agent keeps acting at its usual cadence throughout.
+        let delayed_hv = delayed.harvest_stats.unwrap();
+        let clean_hv = clean.harvest_stats.unwrap();
+        assert!(delayed_hv.actions_taken() as f64 >= clean_hv.actions_taken() as f64 * 0.95);
+    }
+}

@@ -12,7 +12,8 @@
 //! | `fig6` | Figure 6 (SmartHarvest) | [`harvest_experiments`] |
 //! | `fig7`, `fig8` | Figures 7–8 (SmartMemory) | [`memory_experiments`] |
 //! | `ablation` | design-choice ablations | [`overclock_experiments`] |
-//! | `micro` | framework/ML micro-benchmarks (Criterion) | — |
+//! | `colocation` | beyond the paper: agents co-located on one node | [`colocation_experiments`] |
+//! | `micro` | framework/ML/runtime micro-benchmarks (Criterion) | — |
 //!
 //! Experiments run on the deterministic simulation runtime, so the printed
 //! numbers are reproducible run to run.
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod colocation_experiments;
 pub mod harvest_experiments;
 pub mod memory_experiments;
 pub mod overclock_experiments;

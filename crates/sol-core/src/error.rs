@@ -34,6 +34,9 @@ impl StdError for DataError {}
 pub enum RuntimeError {
     /// The schedule passed to the runtime is internally inconsistent.
     InvalidSchedule(String),
+    /// A runtime configuration value (e.g. the maximum environment step) is
+    /// out of range.
+    InvalidConfig(String),
     /// The agent was asked to run for a zero-length horizon.
     EmptyHorizon,
     /// A worker thread of the threaded runtime panicked.
@@ -44,6 +47,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::InvalidSchedule(s) => write!(f, "invalid schedule: {s}"),
+            RuntimeError::InvalidConfig(s) => write!(f, "invalid runtime configuration: {s}"),
             RuntimeError::EmptyHorizon => write!(f, "agent horizon must be non-empty"),
             RuntimeError::WorkerPanicked(which) => write!(f, "{which} control loop panicked"),
         }
@@ -62,6 +66,8 @@ mod tests {
         assert_eq!(e.to_string(), "telemetry source unavailable: perf counter");
         let e = RuntimeError::InvalidSchedule("data_per_epoch is zero".into());
         assert!(e.to_string().starts_with("invalid schedule"));
+        let e = RuntimeError::InvalidConfig("environment step is zero".into());
+        assert_eq!(e.to_string(), "invalid runtime configuration: environment step is zero");
     }
 
     #[test]

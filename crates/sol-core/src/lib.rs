@@ -19,10 +19,12 @@
 //!   not, backed by a watchdog-style performance safeguard and an idempotent
 //!   clean-up routine.
 //!
-//! The [`runtime`] module provides two drivers for these loops: a
-//! deterministic discrete-event simulation
-//! ([`SimRuntime`](runtime::sim::SimRuntime)) used by all experiments in this
-//! reproduction, and a threaded runtime ([`runtime::threaded`]) matching the
+//! The [`runtime`] module provides three drivers for these loops: a
+//! deterministic multi-agent event-queue runtime
+//! ([`NodeRuntime`](runtime::node::NodeRuntime)) hosting co-located agents on
+//! one shared environment, its typed single-agent wrapper
+//! ([`SimRuntime`](runtime::sim::SimRuntime)) used by the per-agent
+//! experiments, and a threaded runtime ([`runtime::threaded`]) matching the
 //! paper's deployment shape (two separately scheduled control loops).
 //!
 //! ## Quick start
@@ -94,6 +96,9 @@ pub mod prelude {
     pub use crate::error::{DataError, RuntimeError};
     pub use crate::model::{Model, ModelAssessment};
     pub use crate::prediction::{Prediction, PredictionSource};
+    pub use crate::runtime::node::{
+        AgentDriver, AgentId, AgentReport, LoopAgent, NodeReport, NodeRuntime,
+    };
     pub use crate::runtime::sim::{SimReport, SimRuntime};
     pub use crate::runtime::threaded::{run_agent, ThreadedAgent, ThreadedReport};
     pub use crate::runtime::{Environment, NullEnvironment};

@@ -1,16 +1,25 @@
-//! Runtimes that schedule and execute an agent's Model and Actuator loops.
+//! Runtimes that schedule and execute agents' Model and Actuator loops.
 //!
-//! Two drivers are provided:
+//! Three drivers are provided:
 //!
-//! * [`SimRuntime`](sim::SimRuntime) — a single-threaded, deterministic
-//!   discrete-event driver used by all experiments. It co-advances a simulated
-//!   [`Environment`] (e.g. the node simulator) with the agent's control loops.
-//! * [`ThreadedRuntime`](threaded::ThreadedRuntime) — the deployment shape the
+//! * [`NodeRuntime`](node::NodeRuntime) — the multi-agent discrete-event
+//!   driver: a binary-heap event queue (agent wakes, interventions,
+//!   environment steps as first-class events) hosting *N* heterogeneous
+//!   agents, each erased behind the object-safe
+//!   [`AgentDriver`](node::AgentDriver) trait, on one shared [`Environment`].
+//!   This is what the paper's co-location scenario (§4.2, §6) runs on.
+//! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
+//!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
+//!   historical single-agent results exactly.
+//! * [`ThreadedAgent`](threaded::ThreadedAgent) — the deployment shape the
 //!   paper describes: the Model and Actuator run in separately scheduled OS
 //!   threads connected by a prediction queue, so the Actuator keeps taking
 //!   safe actions while the Model is throttled.
 
+pub mod node;
 pub mod sim;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod threaded;
 
 use crate::time::Timestamp;

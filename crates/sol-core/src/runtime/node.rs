@@ -1,0 +1,969 @@
+//! The multi-agent node runtime: an event-queue scheduler hosting *N*
+//! co-located agents on one shared environment.
+//!
+//! The paper's central claim (§4.2, §6) is that multiple learning agents —
+//! CPU harvesting, overclocking, tiered memory — run safely *on the same
+//! node*. [`NodeRuntime`] makes that scenario representable: it drives any
+//! number of heterogeneous agents, each erased behind the object-safe
+//! [`AgentDriver`] trait, over a single shared [`Environment`] under one
+//! virtual clock.
+//!
+//! # Design
+//!
+//! The runtime is a classic discrete-event simulator. A [`BinaryHeap`] holds
+//! three kinds of first-class events, ordered by (time, insertion sequence):
+//!
+//! * **Agent wakes** — the next time an agent's Model or Actuator loop needs
+//!   to run. Wake events are invalidated lazily: each agent slot carries a
+//!   generation counter, and a popped wake whose generation no longer matches
+//!   is discarded, so wakes that move (a delivered prediction, an injected
+//!   delay) never require searching the heap.
+//! * **Interventions** — scheduled disturbances targeted at a specific agent
+//!   ([`NodeRuntime::delay_model_at`], [`NodeRuntime::delay_actuator_at`]) or
+//!   at the environment ([`NodeRuntime::mutate_environment_at`]), mirroring
+//!   the failure-injection methodology of paper §6.
+//! * **Environment-step boundaries** — the environment is advanced at least
+//!   every `max_environment_step` of virtual time so workload dynamics are
+//!   never skipped over entirely between sparse agent wakes.
+//!
+//! Each tick pops the earliest valid event, advances the clock and the
+//! environment once to that time, applies every intervention that is due (in
+//! schedule order), then steps every due agent in registration order. The
+//! environment is only advanced when an event or a step boundary is actually
+//! due — there is no per-tick scan over agents or sorted intervention lists.
+//!
+//! [`SimRuntime`](crate::runtime::sim::SimRuntime) is a thin single-agent
+//! wrapper over this runtime, and reproduces the historical single-agent
+//! results exactly.
+
+use std::any::Any;
+use std::collections::BinaryHeap;
+
+use crate::actuator::Actuator;
+use crate::error::RuntimeError;
+use crate::loops::{ActuatorLoop, ModelLoop};
+use crate::model::Model;
+use crate::runtime::Environment;
+use crate::schedule::Schedule;
+use crate::stats::AgentStats;
+use crate::time::{Clock, SimDuration, Timestamp, VirtualClock};
+
+/// Upper clamp applied to the default per-agent environment step.
+const MAX_DEFAULT_ENV_STEP: SimDuration = SimDuration::from_secs(1);
+/// Lower clamp applied to the default per-agent environment step.
+const MIN_DEFAULT_ENV_STEP: SimDuration = SimDuration::from_millis(1);
+
+/// Identifier of an agent registered with a [`NodeRuntime`].
+///
+/// Ids are dense indices assigned in registration order; they stay valid for
+/// the lifetime of the runtime and index into the reports it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// The agent's position in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AgentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+/// An arbitrary environment mutation applied at a scheduled time.
+type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
+
+/// An agent hosted by a [`NodeRuntime`], with its `Model`/`Actuator` generics
+/// erased so heterogeneous agents can share one node.
+///
+/// [`LoopAgent`] wraps a [`ModelLoop`]/[`ActuatorLoop`] pair behind this
+/// trait; custom drivers (replay agents, adversarial load generators) can
+/// implement it directly. Environments and drivers must be `'static` so the
+/// runtime can recover concrete agent types after a run via [`Any`].
+///
+/// # Contract
+///
+/// * [`next_wake`](Self::next_wake) returns the *raw* earliest time either
+///   loop needs to run; the runtime clamps it to the current virtual time.
+/// * [`step`](Self::step) is invoked whenever the runtime reaches a tick at or
+///   after `next_wake()`; the driver must check which of its loops are due and
+///   must eventually advance its wake time, or the simulation cannot progress.
+pub trait AgentDriver<E: Environment>: Any {
+    /// The earliest virtual time at which this agent needs to run again.
+    fn next_wake(&self) -> Timestamp;
+    /// Runs the agent's due loops at virtual time `now` against the shared
+    /// environment.
+    fn step(&mut self, now: Timestamp, env: &mut E);
+    /// Injects a Model-loop scheduling delay lasting until `until`.
+    fn delay_model(&mut self, until: Timestamp);
+    /// Injects an Actuator-loop scheduling delay lasting until `until`.
+    fn delay_actuator(&mut self, until: Timestamp);
+    /// Runtime counters accumulated so far.
+    fn stats(&self) -> AgentStats;
+    /// Invokes the agent's idempotent clean-up routine.
+    fn clean_up(&mut self, now: Timestamp);
+    /// Upcast for typed read access (see [`AgentReport::inner`]).
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast for typed mutable access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Upcast for typed recovery of the concrete driver after a run.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// The standard [`AgentDriver`]: a [`ModelLoop`]/[`ActuatorLoop`] pair plus
+/// the Actuator-delay bookkeeping the failure-injection experiments need.
+pub struct LoopAgent<M: Model, A: Actuator<Pred = M::Pred>> {
+    model_loop: ModelLoop<M>,
+    actuator_loop: ActuatorLoop<A>,
+    /// The Actuator loop does not run before this time (scheduling-delay
+    /// injection for the blocking-vs-non-blocking experiments).
+    actuator_delayed_until: Option<Timestamp>,
+}
+
+impl<M, A> LoopAgent<M, A>
+where
+    M: Model,
+    A: Actuator<Pred = M::Pred>,
+{
+    /// Creates the agent's control loops, both starting at `start`.
+    pub fn new(model: M, actuator: A, schedule: Schedule, start: Timestamp) -> Self {
+        LoopAgent {
+            model_loop: ModelLoop::new(model, schedule.clone(), start),
+            actuator_loop: ActuatorLoop::new(actuator, schedule, start),
+            actuator_delayed_until: None,
+        }
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &M {
+        self.model_loop.model()
+    }
+
+    /// Read access to the actuator.
+    pub fn actuator(&self) -> &A {
+        self.actuator_loop.actuator()
+    }
+
+    /// Combined runtime counters for both loops.
+    pub fn stats(&self) -> AgentStats {
+        AgentStats {
+            model: self.model_loop.stats().clone(),
+            actuator: self.actuator_loop.stats().clone(),
+        }
+    }
+
+    /// Consumes the agent, returning the model, the actuator, and the final
+    /// counters.
+    pub fn into_parts(self) -> (M, A, AgentStats) {
+        let stats = self.stats();
+        let (model, _) = self.model_loop.into_parts();
+        let (actuator, _) = self.actuator_loop.into_parts();
+        (model, actuator, stats)
+    }
+}
+
+impl<E, M, A> AgentDriver<E> for LoopAgent<M, A>
+where
+    E: Environment,
+    M: Model + 'static,
+    A: Actuator<Pred = M::Pred> + 'static,
+{
+    fn next_wake(&self) -> Timestamp {
+        let model = self.model_loop.next_wake();
+        let mut actuator = self.actuator_loop.next_wake();
+        if let Some(t) = self.actuator_delayed_until {
+            actuator = actuator.max(t);
+        }
+        model.min(actuator)
+    }
+
+    fn step(&mut self, now: Timestamp, _env: &mut E) {
+        if self.model_loop.next_wake() <= now {
+            if let Some(prediction) = self.model_loop.step(now) {
+                self.actuator_loop.deliver(prediction);
+            }
+        }
+        let actuator_delayed = self.actuator_delayed_until.map(|t| now < t).unwrap_or(false);
+        if !actuator_delayed && self.actuator_loop.next_wake() <= now {
+            self.actuator_loop.step(now);
+        }
+        if let Some(t) = self.actuator_delayed_until {
+            if now >= t {
+                self.actuator_delayed_until = None;
+            }
+        }
+    }
+
+    fn delay_model(&mut self, until: Timestamp) {
+        self.model_loop.delay_until(until);
+    }
+
+    fn delay_actuator(&mut self, until: Timestamp) {
+        self.actuator_delayed_until = Some(until);
+    }
+
+    fn stats(&self) -> AgentStats {
+        LoopAgent::stats(self)
+    }
+
+    fn clean_up(&mut self, now: Timestamp) {
+        self.actuator_loop.clean_up(now);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// An intervention targeted at one agent or at the shared environment.
+enum Intervention<E> {
+    /// Delay the agent's Model loop for `duration` starting at the trigger
+    /// time (models throttling/starvation of the expensive ML component).
+    DelayModel { id: AgentId, duration: SimDuration },
+    /// Delay the agent's Actuator loop for `duration` starting at the trigger
+    /// time.
+    DelayActuator { id: AgentId, duration: SimDuration },
+    /// Arbitrary change applied to the environment (e.g. toggle a fault
+    /// injector, change a workload phase).
+    Mutate(MutateFn<E>),
+}
+
+/// What happens at a scheduled point of virtual time.
+enum EventKind<E> {
+    /// An agent's next wake. Valid only while the agent slot's generation
+    /// matches `gen`; stale wakes are discarded when popped.
+    AgentWake { id: AgentId, gen: u64 },
+    /// A scheduled disturbance.
+    Intervention(Intervention<E>),
+    /// The `max_environment_step` boundary: advance the environment even when
+    /// no agent event is due. Valid only while it matches the runtime's
+    /// current boundary.
+    EnvStep,
+}
+
+/// A heap entry: events pop earliest-time first, ties broken by insertion
+/// order so same-time interventions apply in the order they were scheduled.
+struct Event<E> {
+    at: Timestamp,
+    seq: u64,
+    kind: EventKind<E>,
+}
+
+impl<E> PartialEq for Event<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Event<E> {}
+
+impl<E> PartialOrd for Event<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Event<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One registered agent plus its wake-scheduling state.
+struct AgentSlot<E: Environment + 'static> {
+    name: String,
+    driver: Box<dyn AgentDriver<E>>,
+    /// Generation of the wake event currently in the heap; bumping it
+    /// invalidates that event lazily.
+    gen: u64,
+    /// Time of the currently valid wake event, if one is in the heap.
+    scheduled_at: Option<Timestamp>,
+}
+
+/// Final state of one agent after a [`NodeRuntime`] run.
+pub struct AgentReport<E: Environment + 'static> {
+    /// The agent's id.
+    pub id: AgentId,
+    /// The name the agent was registered under.
+    pub name: String,
+    /// Final runtime counters.
+    pub stats: AgentStats,
+    /// The type-erased driver, for post-run inspection.
+    pub driver: Box<dyn AgentDriver<E>>,
+}
+
+impl<E: Environment + 'static> AgentReport<E> {
+    /// Borrowed access to the concrete driver type, if it matches.
+    pub fn inner<T: 'static>(&self) -> Option<&T> {
+        self.driver.as_any().downcast_ref::<T>()
+    }
+
+    /// Recovers the concrete driver (e.g. a [`LoopAgent`]) by value.
+    pub fn into_inner<T: 'static>(self) -> Option<T> {
+        self.driver.into_any().downcast::<T>().ok().map(|boxed| *boxed)
+    }
+}
+
+impl<E: Environment + 'static> std::fmt::Debug for AgentReport<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentReport")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Results of a completed multi-agent run.
+#[derive(Debug)]
+pub struct NodeReport<E: Environment + 'static> {
+    /// The shared environment, returned for post-run inspection (metrics
+    /// usually live here).
+    pub environment: E,
+    /// Per-agent outcomes, in registration order.
+    pub agents: Vec<AgentReport<E>>,
+    /// The virtual time at which the run ended.
+    pub ended_at: Timestamp,
+}
+
+impl<E: Environment + 'static> NodeReport<E> {
+    /// The report for one agent. Looked up by id, not position, so it stays
+    /// correct after [`take_agent`](Self::take_agent) removals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by the runtime that built this report
+    /// or its report was already taken.
+    pub fn agent(&self, id: AgentId) -> &AgentReport<E> {
+        self.agents.iter().find(|a| a.id == id).unwrap_or_else(|| panic!("{id} not in report"))
+    }
+
+    /// Removes and returns the report for one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by the runtime that built this report
+    /// or its report was already taken.
+    pub fn take_agent(&mut self, id: AgentId) -> AgentReport<E> {
+        let pos = self
+            .agents
+            .iter()
+            .position(|a| a.id == id)
+            .unwrap_or_else(|| panic!("{id} not in report"));
+        self.agents.remove(pos)
+    }
+}
+
+/// Deterministic event-queue driver for an agent population sharing one
+/// environment.
+///
+/// # Examples
+///
+/// ```
+/// use sol_core::prelude::*;
+/// # use sol_core::error::DataError;
+/// # struct M;
+/// # impl Model for M {
+/// #     type Data = f64;
+/// #     type Pred = f64;
+/// #     fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> { Ok(1.0) }
+/// #     fn validate_data(&self, d: &f64) -> bool { d.is_finite() }
+/// #     fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
+/// #     fn update_model(&mut self, _now: Timestamp) {}
+/// #     fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+/// #         Some(Prediction::model(2.0, now, now + SimDuration::from_secs(1)))
+/// #     }
+/// #     fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+/// #         Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+/// #     }
+/// #     fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment { ModelAssessment::Healthy }
+/// # }
+/// # #[derive(Default)]
+/// # struct A { count: u64 }
+/// # impl Actuator for A {
+/// #     type Pred = f64;
+/// #     fn take_action(&mut self, _now: Timestamp, _pred: Option<&Prediction<f64>>) {
+/// #         self.count += 1;
+/// #     }
+/// #     fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+/// #         ActuatorAssessment::Acceptable
+/// #     }
+/// #     fn mitigate(&mut self, _now: Timestamp) {}
+/// #     fn clean_up(&mut self, _now: Timestamp) {}
+/// # }
+/// let schedule = Schedule::builder()
+///     .data_per_epoch(2)
+///     .data_collect_interval(SimDuration::from_millis(100))
+///     .max_epoch_time(SimDuration::from_secs(1))
+///     .build()?;
+/// let mut runtime = NodeRuntime::new(NullEnvironment);
+/// let first = runtime.register_agent("first", M, A::default(), schedule.clone());
+/// let second = runtime.register_agent("second", M, A::default(), schedule);
+/// let report = runtime.run_for(SimDuration::from_secs(5))?;
+/// assert!(report.agent(first).stats.model.epochs_completed > 0);
+/// assert_eq!(report.agent(second).name, "second");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct NodeRuntime<E: Environment + 'static> {
+    clock: VirtualClock,
+    environment: E,
+    agents: Vec<AgentSlot<E>>,
+    events: BinaryHeap<Event<E>>,
+    next_seq: u64,
+    /// Largest span of virtual time the environment may be advanced in one
+    /// tick even when no agent event is due.
+    max_env_step: SimDuration,
+    /// Whether `max_env_step` was set explicitly; an explicit value is never
+    /// shrunk by later agent registrations.
+    env_step_overridden: bool,
+    /// Time of the currently valid environment-step boundary event.
+    env_step_at: Option<Timestamp>,
+    cleanup_on_finish: bool,
+}
+
+impl<E: Environment + 'static> NodeRuntime<E> {
+    /// Creates an empty runtime for the environment, starting at virtual time
+    /// zero.
+    pub fn new(environment: E) -> Self {
+        NodeRuntime {
+            clock: VirtualClock::new(),
+            environment,
+            agents: Vec::new(),
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            max_env_step: MAX_DEFAULT_ENV_STEP,
+            env_step_overridden: false,
+            env_step_at: None,
+            cleanup_on_finish: false,
+        }
+    }
+
+    /// Registers a `Model`/`Actuator` pair under `name`, driven by `schedule`.
+    ///
+    /// Unless overridden via
+    /// [`max_environment_step`](Self::max_environment_step), the environment
+    /// step shrinks to the smallest registered agent's data collection
+    /// interval (clamped to `[1ms, 1s]`), so the environment always evolves
+    /// at least as finely as the fastest agent samples it.
+    pub fn register_agent<M, A>(
+        &mut self,
+        name: impl Into<String>,
+        model: M,
+        actuator: A,
+        schedule: Schedule,
+    ) -> AgentId
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        if !self.env_step_overridden {
+            let step = schedule
+                .data_collect_interval()
+                .max(MIN_DEFAULT_ENV_STEP)
+                .min(MAX_DEFAULT_ENV_STEP);
+            self.max_env_step = self.max_env_step.min(step);
+        }
+        let start = self.clock.now();
+        self.register_driver(name, Box::new(LoopAgent::new(model, actuator, schedule, start)))
+    }
+
+    /// Registers a pre-built driver under `name` and returns its id.
+    pub fn register_driver(
+        &mut self,
+        name: impl Into<String>,
+        driver: Box<dyn AgentDriver<E>>,
+    ) -> AgentId {
+        let id = AgentId(self.agents.len());
+        self.agents.push(AgentSlot { name: name.into(), driver, gen: 0, scheduled_at: None });
+        id
+    }
+
+    /// Number of registered agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The name an agent was registered under.
+    ///
+    /// Ids are positional: only pass ids this runtime returned. An id from a
+    /// different runtime resolves to whatever agent sits at that position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn agent_name(&self, id: AgentId) -> &str {
+        &self.agents[id.0].name
+    }
+
+    /// Current runtime counters for one agent (see [`agent_name`][Self::agent_name]
+    /// for how ids resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn agent_stats(&self, id: AgentId) -> AgentStats {
+        self.agents[id.0].driver.stats()
+    }
+
+    /// Read access to an agent's driver (downcast with
+    /// [`AgentDriver::as_any`] for typed access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn driver(&self, id: AgentId) -> &dyn AgentDriver<E> {
+        &*self.agents[id.0].driver
+    }
+
+    /// Mutable access to an agent's driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn driver_mut(&mut self, id: AgentId) -> &mut dyn AgentDriver<E> {
+        &mut *self.agents[id.0].driver
+    }
+
+    /// Requests that every agent's clean-up routine run when the simulation
+    /// horizon is reached.
+    pub fn cleanup_on_finish(mut self, enable: bool) -> Self {
+        self.cleanup_on_finish = enable;
+        self
+    }
+
+    /// Overrides the maximum environment step (defaults to the smallest
+    /// registered data collection interval, clamped to `[1ms, 1s]`). The
+    /// explicit value sticks regardless of registration order: agents
+    /// registered afterwards no longer shrink it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `step` is zero.
+    pub fn max_environment_step(mut self, step: SimDuration) -> Result<Self, RuntimeError> {
+        if step.is_zero() {
+            return Err(RuntimeError::InvalidConfig("environment step must be non-zero".into()));
+        }
+        self.max_env_step = step;
+        self.env_step_overridden = true;
+        Ok(self)
+    }
+
+    /// Schedules a Model-loop scheduling delay for one agent: starting at
+    /// `at`, that agent's Model loop will not run for `duration` (paper §6:
+    /// "we inject a 30-second delay in the Model thread").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn delay_model_at(&mut self, id: AgentId, at: Timestamp, duration: SimDuration) {
+        assert!(id.0 < self.agents.len(), "{id} is not registered");
+        self.push_event(at, EventKind::Intervention(Intervention::DelayModel { id, duration }));
+    }
+
+    /// Schedules an Actuator-loop scheduling delay for one agent starting at
+    /// `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this runtime's agents.
+    pub fn delay_actuator_at(&mut self, id: AgentId, at: Timestamp, duration: SimDuration) {
+        assert!(id.0 < self.agents.len(), "{id} is not registered");
+        self.push_event(at, EventKind::Intervention(Intervention::DelayActuator { id, duration }));
+    }
+
+    /// Schedules an arbitrary environment mutation at `at` (e.g. enabling a
+    /// fault injector or breaking a model's input source).
+    pub fn mutate_environment_at(
+        &mut self,
+        at: Timestamp,
+        f: impl FnMut(&mut E, Timestamp) + Send + 'static,
+    ) {
+        self.push_event(at, EventKind::Intervention(Intervention::Mutate(Box::new(f))));
+    }
+
+    /// Read access to the environment (before or after a run segment).
+    pub fn environment(&self) -> &E {
+        &self.environment
+    }
+
+    /// Mutable access to the environment.
+    pub fn environment_mut(&mut self) -> &mut E {
+        &mut self.environment
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    fn push_event(&mut self, at: Timestamp, kind: EventKind<E>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event { at, seq, kind });
+    }
+
+    /// Whether a popped/peeked event still reflects current state.
+    fn event_valid(agents: &[AgentSlot<E>], env_step_at: Option<Timestamp>, ev: &Event<E>) -> bool {
+        match ev.kind {
+            EventKind::AgentWake { id, gen } => agents[id.0].gen == gen,
+            EventKind::EnvStep => Some(ev.at) == env_step_at,
+            EventKind::Intervention(_) => true,
+        }
+    }
+
+    /// (Re)schedules the wake event for one agent if its wake time moved or
+    /// its previous event was consumed.
+    fn schedule_wake(&mut self, idx: usize) {
+        let wake = self.agents[idx].driver.next_wake();
+        if self.agents[idx].scheduled_at == Some(wake) {
+            return;
+        }
+        let slot = &mut self.agents[idx];
+        slot.gen += 1;
+        slot.scheduled_at = Some(wake);
+        let gen = slot.gen;
+        self.push_event(wake, EventKind::AgentWake { id: AgentId(idx), gen });
+    }
+
+    /// Runs all agents for `horizon` of virtual time and returns the final
+    /// state of the environment and every agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero.
+    pub fn run_for(mut self, horizon: SimDuration) -> Result<NodeReport<E>, RuntimeError> {
+        if horizon.is_zero() {
+            return Err(RuntimeError::EmptyHorizon);
+        }
+        let end = self.clock.now() + horizon;
+
+        for idx in 0..self.agents.len() {
+            self.schedule_wake(idx);
+        }
+        let boundary = self.clock.now() + self.max_env_step;
+        self.env_step_at = Some(boundary);
+        self.push_event(boundary, EventKind::EnvStep);
+
+        // Agents touched by this tick's events (wakes popped, delays
+        // applied); only they are step-checked and rescheduled, so a tick
+        // costs O(events at that time), not O(agents).
+        let mut touched: Vec<usize> = Vec::with_capacity(self.agents.len());
+
+        loop {
+            let now = self.clock.now();
+            if now >= end {
+                break;
+            }
+
+            // Earliest valid event; stale wakes and superseded step
+            // boundaries are discarded on the way.
+            let next = loop {
+                match self.events.peek() {
+                    None => break end,
+                    Some(ev) => {
+                        if Self::event_valid(&self.agents, self.env_step_at, ev) {
+                            break ev.at;
+                        }
+                        self.events.pop();
+                    }
+                }
+            };
+            let next = next.max(now).min(end);
+
+            // Advance time and the environment exactly once per tick.
+            self.clock.set(next);
+            self.environment.advance_to(next);
+
+            // Consume everything due at this tick. Interventions apply in
+            // schedule order, before any agent steps. A delay intervention
+            // moves its target's wake, so the target needs rescheduling even
+            // if it was not due.
+            while self.events.peek().map(|ev| ev.at <= next).unwrap_or(false) {
+                let ev = self.events.pop().expect("peeked");
+                match ev.kind {
+                    EventKind::AgentWake { id, gen } => {
+                        let slot = &mut self.agents[id.0];
+                        if slot.gen == gen {
+                            slot.scheduled_at = None;
+                            touched.push(id.0);
+                        }
+                    }
+                    EventKind::EnvStep => {}
+                    EventKind::Intervention(iv) => match iv {
+                        Intervention::DelayModel { id, duration } => {
+                            self.agents[id.0].driver.delay_model(next + duration);
+                            touched.push(id.0);
+                        }
+                        Intervention::DelayActuator { id, duration } => {
+                            self.agents[id.0].driver.delay_actuator(next + duration);
+                            touched.push(id.0);
+                        }
+                        Intervention::Mutate(mut f) => f(&mut self.environment, next),
+                    },
+                }
+            }
+
+            // Step the touched agents that are due, in registration order,
+            // then reschedule their wakes. Untouched agents cannot be due:
+            // their wake events (kept exactly at their wake times) did not
+            // fire.
+            touched.sort_unstable();
+            touched.dedup();
+            for &idx in &touched {
+                let slot = &mut self.agents[idx];
+                if slot.driver.next_wake() <= next {
+                    slot.driver.step(next, &mut self.environment);
+                }
+            }
+            for &idx in &touched {
+                self.schedule_wake(idx);
+            }
+            touched.clear();
+
+            let boundary = next + self.max_env_step;
+            if self.env_step_at != Some(boundary) {
+                self.env_step_at = Some(boundary);
+                self.push_event(boundary, EventKind::EnvStep);
+            }
+        }
+
+        let ended_at = self.clock.now();
+        if self.cleanup_on_finish {
+            for slot in &mut self.agents {
+                slot.driver.clean_up(ended_at);
+            }
+        }
+        let agents = self
+            .agents
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| AgentReport {
+                id: AgentId(idx),
+                name: slot.name,
+                stats: slot.driver.stats(),
+                driver: slot.driver,
+            })
+            .collect();
+        Ok(NodeReport { environment: self.environment, agents, ended_at })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::testutil::{schedule, ConstModel, CountActuator, StepEnv};
+    use crate::runtime::NullEnvironment;
+
+    #[test]
+    fn rejects_empty_horizon() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+        assert!(matches!(rt.run_for(SimDuration::ZERO), Err(RuntimeError::EmptyHorizon)));
+    }
+
+    #[test]
+    fn rejects_zero_environment_step() {
+        let rt = NodeRuntime::new(NullEnvironment);
+        assert!(matches!(
+            rt.max_environment_step(SimDuration::ZERO),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn runs_two_heterogeneous_agents_on_one_environment() {
+        let mut rt = NodeRuntime::new(StepEnv::default());
+        let fast =
+            rt.register_agent("fast", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        let slow =
+            rt.register_agent("slow", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(200)
+            });
+        let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
+        // 10 s / (5 samples * 100 ms) = 20 epochs for the fast agent, half
+        // the rate for the slow one.
+        assert_eq!(report.agent(fast).stats.model.epochs_completed, 20);
+        assert_eq!(report.agent(slow).stats.model.epochs_completed, 10);
+        assert_eq!(report.agent(fast).name, "fast");
+        assert_eq!(report.environment.last, Timestamp::from_secs(10));
+        assert_eq!(report.ended_at, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn interventions_target_only_the_addressed_agent() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let delayed =
+            rt.register_agent("delayed", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        let healthy =
+            rt.register_agent("healthy", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        rt.delay_model_at(delayed, Timestamp::from_secs(2), SimDuration::from_secs(5));
+        let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
+        assert!(report.agent(delayed).stats.model.epochs_completed < 20);
+        assert_eq!(report.agent(healthy).stats.model.epochs_completed, 20);
+        assert!(report.agent(delayed).stats.actuator.actuation_timeouts >= 1);
+        assert_eq!(report.agent(healthy).stats.actuator.actuation_timeouts, 0);
+    }
+
+    #[test]
+    fn actuator_delay_targets_only_the_addressed_agent() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let delayed =
+            rt.register_agent("delayed", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        let healthy =
+            rt.register_agent("healthy", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        rt.delay_actuator_at(delayed, Timestamp::from_secs(1), SimDuration::from_secs(4));
+        let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
+        let delayed_actions = report.agent(delayed).inner::<LoopAgent<ConstModel, CountActuator>>();
+        let healthy_actions = report.agent(healthy).inner::<LoopAgent<ConstModel, CountActuator>>();
+        assert!(
+            delayed_actions.unwrap().actuator().actions
+                < healthy_actions.unwrap().actuator().actions
+        );
+    }
+
+    #[test]
+    fn environment_mutation_fires_at_requested_time() {
+        let mut rt = NodeRuntime::new(StepEnv::default());
+        rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+        rt.mutate_environment_at(Timestamp::from_secs(3), |env, now| {
+            assert!(now >= Timestamp::from_secs(3));
+            env.fault = true;
+        });
+        let report = rt.run_for(SimDuration::from_secs(5)).unwrap();
+        assert!(report.environment.fault);
+    }
+
+    #[test]
+    fn cleanup_on_finish_cleans_every_agent() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let b = rt.register_agent("b", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let report = rt.cleanup_on_finish(true).run_for(SimDuration::from_secs(2)).unwrap();
+        for id in [a, b] {
+            assert_eq!(report.agent(id).stats.actuator.cleanups, 1);
+            let agent = report.agent(id).inner::<LoopAgent<ConstModel, CountActuator>>().unwrap();
+            assert!(agent.actuator().cleaned);
+        }
+    }
+
+    #[test]
+    fn report_recovers_concrete_agents() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let id = rt.register_agent("a", ConstModel { value: 4.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let mut report = rt.run_for(SimDuration::from_secs(2)).unwrap();
+        let agent = report
+            .take_agent(id)
+            .into_inner::<LoopAgent<ConstModel, CountActuator>>()
+            .expect("registered type");
+        let (model, actuator, stats) = agent.into_parts();
+        assert_eq!(model.value, 4.0);
+        assert!(actuator.actions > 0);
+        assert!(stats.model.epochs_completed > 0);
+    }
+
+    #[test]
+    fn report_lookup_stays_correct_after_take_agent() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let b = rt.register_agent("b", ConstModel { value: 2.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let mut report = rt.run_for(SimDuration::from_secs(2)).unwrap();
+        let taken = report.take_agent(a);
+        assert_eq!(taken.name, "a");
+        // Id-based lookup must survive the removal shifting positions.
+        assert_eq!(report.agent(b).name, "b");
+        assert_eq!(report.take_agent(b).name, "b");
+    }
+
+    #[test]
+    fn explicit_environment_step_survives_later_registrations() {
+        let rt = NodeRuntime::new(StepEnv::default())
+            .max_environment_step(SimDuration::from_millis(500))
+            .unwrap();
+        let mut rt = rt;
+        // A fast agent (100 ms collects) must not shrink the explicit 500 ms.
+        rt.register_agent("fast", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        assert_eq!(rt.max_env_step, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn identical_multi_agent_runs_are_deterministic() {
+        let run = || {
+            let mut rt = NodeRuntime::new(StepEnv::default());
+            let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+            let b = rt.register_agent("b", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(70)
+            });
+            let report = rt.run_for(SimDuration::from_secs(7)).unwrap();
+            (
+                report.agent(a).stats.clone(),
+                report.agent(b).stats.clone(),
+                report.environment.advances,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn environment_advances_at_most_one_step_apart() {
+        /// Environment asserting consecutive advances are close together.
+        #[derive(Debug, Default)]
+        struct BoundedEnv {
+            last: Timestamp,
+            max_gap: SimDuration,
+        }
+        impl Environment for BoundedEnv {
+            fn advance_to(&mut self, now: Timestamp) {
+                self.max_gap = self.max_gap.max(now.duration_since(self.last));
+                self.last = now;
+            }
+        }
+        let mut rt = NodeRuntime::new(BoundedEnv::default());
+        // One very sparse agent: collects every 900 ms.
+        rt.register_agent("sparse", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(900)
+        });
+        let rt = rt.max_environment_step(SimDuration::from_millis(250)).unwrap();
+        let report = rt.run_for(SimDuration::from_secs(5)).unwrap();
+        assert!(
+            report.environment.max_gap <= SimDuration::from_millis(250),
+            "gap {} exceeds the configured step",
+            report.environment.max_gap
+        );
+    }
+}

@@ -1,39 +1,21 @@
-//! Deterministic discrete-event runtime.
+//! Deterministic single-agent simulation runtime.
 //!
-//! `SimRuntime` drives the Model loop, the Actuator loop, and a simulated
-//! [`Environment`] under a shared [`VirtualClock`]. Every experiment in this
-//! reproduction runs on this driver so results are exactly reproducible.
+//! `SimRuntime` drives one agent's Model loop, Actuator loop, and a simulated
+//! [`Environment`] under a shared virtual clock. It is a thin typed wrapper
+//! over the multi-agent [`NodeRuntime`]:
+//! the agent is registered as the node's only occupant, and the report
+//! recovers the concrete `Model`/`Actuator` types. Every experiment in this
+//! reproduction runs on this driver (or on `NodeRuntime` directly for
+//! co-location scenarios), so results are exactly reproducible.
 
 use crate::actuator::Actuator;
 use crate::error::RuntimeError;
-use crate::loops::{ActuatorLoop, ModelLoop};
 use crate::model::Model;
+use crate::runtime::node::{AgentId, LoopAgent, NodeRuntime};
 use crate::runtime::Environment;
 use crate::schedule::Schedule;
 use crate::stats::AgentStats;
-use crate::time::{Clock, SimDuration, Timestamp, VirtualClock};
-
-/// An arbitrary environment mutation applied at a scheduled time.
-type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
-
-/// A scheduled disturbance injected into a running agent, mirroring the
-/// failure-injection methodology of paper §6 (scheduling delays, environment
-/// changes at known times).
-enum Intervention<E> {
-    /// Delay the Model loop for `duration` starting at the trigger time
-    /// (models throttling/starvation of the expensive ML component).
-    DelayModel { duration: SimDuration },
-    /// Delay the Actuator loop for `duration` starting at the trigger time.
-    DelayActuator { duration: SimDuration },
-    /// Arbitrary change applied to the environment (e.g. toggle a fault
-    /// injector, change a workload phase).
-    Mutate(MutateFn<E>),
-}
-
-struct ScheduledIntervention<E> {
-    at: Timestamp,
-    intervention: Intervention<E>,
-}
+use crate::time::{SimDuration, Timestamp};
 
 /// Results of a completed simulation run.
 #[derive(Debug)]
@@ -60,83 +42,57 @@ pub struct SimReport<M, A, E> {
 /// [`run_for`](SimRuntime::run_for).
 pub struct SimRuntime<M, A, E>
 where
-    M: Model,
-    A: Actuator<Pred = M::Pred>,
-    E: Environment,
+    M: Model + 'static,
+    A: Actuator<Pred = M::Pred> + 'static,
+    E: Environment + 'static,
 {
-    clock: VirtualClock,
-    model_loop: ModelLoop<M>,
-    actuator_loop: ActuatorLoop<A>,
-    environment: E,
-    interventions: Vec<ScheduledIntervention<E>>,
-    /// Smallest granularity at which the environment is advanced even when no
-    /// agent event is due; keeps environment dynamics (e.g. workload phases)
-    /// from being skipped over entirely between sparse agent wakes.
-    max_env_step: SimDuration,
-    cleanup_on_finish: bool,
-    /// The Actuator loop does not run before this time (scheduling-delay
-    /// injection for the blocking-vs-non-blocking experiments).
-    actuator_delayed_until: Option<Timestamp>,
+    node: NodeRuntime<E>,
+    id: AgentId,
+    _marker: std::marker::PhantomData<(M, A)>,
 }
 
 impl<M, A, E> SimRuntime<M, A, E>
 where
-    M: Model,
-    A: Actuator<Pred = M::Pred>,
-    E: Environment,
+    M: Model + 'static,
+    A: Actuator<Pred = M::Pred> + 'static,
+    E: Environment + 'static,
 {
     /// Creates a runtime for the given agent halves, schedule, and
     /// environment, starting at virtual time zero.
     pub fn new(model: M, actuator: A, schedule: Schedule, environment: E) -> Self {
-        let clock = VirtualClock::new();
-        let start = clock.now();
-        let max_env_step = schedule
-            .data_collect_interval()
-            .max(SimDuration::from_millis(1))
-            .min(SimDuration::from_secs(1));
-        SimRuntime {
-            clock,
-            model_loop: ModelLoop::new(model, schedule.clone(), start),
-            actuator_loop: ActuatorLoop::new(actuator, schedule, start),
-            environment,
-            interventions: Vec::new(),
-            max_env_step,
-            cleanup_on_finish: false,
-            actuator_delayed_until: None,
-        }
+        let mut node = NodeRuntime::new(environment);
+        let id = node.register_agent("agent", model, actuator, schedule);
+        SimRuntime { node, id, _marker: std::marker::PhantomData }
     }
 
     /// Requests that the Actuator's `CleanUp` routine run when the simulation
     /// horizon is reached.
     pub fn cleanup_on_finish(mut self, enable: bool) -> Self {
-        self.cleanup_on_finish = enable;
+        self.node = self.node.cleanup_on_finish(enable);
         self
     }
 
     /// Overrides the maximum environment step (defaults to the data collection
     /// interval, clamped to `[1ms, 1s]`).
-    pub fn max_environment_step(mut self, step: SimDuration) -> Self {
-        assert!(!step.is_zero(), "environment step must be non-zero");
-        self.max_env_step = step;
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `step` is zero.
+    pub fn max_environment_step(mut self, step: SimDuration) -> Result<Self, RuntimeError> {
+        self.node = self.node.max_environment_step(step)?;
+        Ok(self)
     }
 
     /// Schedules a Model-loop scheduling delay: starting at `at`, the Model
     /// loop will not run for `duration` (paper §6: "we inject a 30-second
     /// delay in the Model thread").
     pub fn delay_model_at(&mut self, at: Timestamp, duration: SimDuration) {
-        self.interventions.push(ScheduledIntervention {
-            at,
-            intervention: Intervention::DelayModel { duration },
-        });
+        self.node.delay_model_at(self.id, at, duration);
     }
 
     /// Schedules an Actuator-loop scheduling delay starting at `at`.
     pub fn delay_actuator_at(&mut self, at: Timestamp, duration: SimDuration) {
-        self.interventions.push(ScheduledIntervention {
-            at,
-            intervention: Intervention::DelayActuator { duration },
-        });
+        self.node.delay_actuator_at(self.id, at, duration);
     }
 
     /// Schedules an arbitrary environment mutation at `at` (e.g. enabling a
@@ -146,41 +102,45 @@ where
         at: Timestamp,
         f: impl FnMut(&mut E, Timestamp) + Send + 'static,
     ) {
-        self.interventions
-            .push(ScheduledIntervention { at, intervention: Intervention::Mutate(Box::new(f)) });
+        self.node.mutate_environment_at(at, f);
     }
 
     /// Read access to the environment (before or after a run segment).
     pub fn environment(&self) -> &E {
-        &self.environment
+        self.node.environment()
     }
 
     /// Mutable access to the environment.
     pub fn environment_mut(&mut self) -> &mut E {
-        &mut self.environment
+        self.node.environment_mut()
+    }
+
+    fn agent(&self) -> &LoopAgent<M, A> {
+        self.node
+            .driver(self.id)
+            .as_any()
+            .downcast_ref::<LoopAgent<M, A>>()
+            .expect("single agent is a LoopAgent")
     }
 
     /// Read access to the model.
     pub fn model(&self) -> &M {
-        self.model_loop.model()
+        self.agent().model()
     }
 
     /// Read access to the actuator.
     pub fn actuator(&self) -> &A {
-        self.actuator_loop.actuator()
+        self.agent().actuator()
     }
 
     /// The current virtual time.
     pub fn now(&self) -> Timestamp {
-        self.clock.now()
+        self.node.now()
     }
 
     /// Current runtime counters.
     pub fn stats(&self) -> AgentStats {
-        AgentStats {
-            model: self.model_loop.stats().clone(),
-            actuator: self.actuator_loop.stats().clone(),
-        }
+        self.node.agent_stats(self.id)
     }
 
     /// Runs the agent for `horizon` of virtual time and returns the final
@@ -189,179 +149,27 @@ where
     /// # Errors
     ///
     /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero.
-    pub fn run_for(mut self, horizon: SimDuration) -> Result<SimReport<M, A, E>, RuntimeError> {
-        if horizon.is_zero() {
-            return Err(RuntimeError::EmptyHorizon);
-        }
-        let end = self.clock.now() + horizon;
-        self.interventions.sort_by_key(|i| i.at);
-        let mut pending: std::collections::VecDeque<ScheduledIntervention<E>> =
-            std::mem::take(&mut self.interventions).into();
-
-        loop {
-            let now = self.clock.now();
-            if now >= end {
-                break;
-            }
-
-            // Next agent event. A delayed loop's next event is the end of its
-            // delay window, never earlier.
-            let model_wake = self.model_loop.next_wake().max(now);
-            let mut actuator_wake = self.actuator_loop.next_wake().max(now);
-            if let Some(t) = self.actuator_delayed_until {
-                actuator_wake = actuator_wake.max(t);
-            }
-            let mut next = model_wake.min(actuator_wake);
-
-            // Next intervention.
-            if let Some(iv) = pending.front() {
-                next = next.min(iv.at.max(now));
-            }
-
-            // Never skip more than max_env_step of environment evolution and
-            // never run past the horizon.
-            next = next.min(now + self.max_env_step).min(end);
-            if next < now {
-                next = now;
-            }
-
-            // Advance time and the environment.
-            self.clock.set(next);
-            self.environment.advance_to(next);
-
-            // Apply due interventions.
-            while pending.front().map(|iv| iv.at <= next).unwrap_or(false) {
-                let iv = pending.pop_front().expect("checked front");
-                match iv.intervention {
-                    Intervention::DelayModel { duration } => {
-                        self.model_loop.delay_until(next + duration);
-                    }
-                    Intervention::DelayActuator { duration } => {
-                        // An actuator delay is modelled by pushing its next
-                        // deadline out: deliver no step until the delay ends.
-                        // We implement it by swallowing steps below.
-                        self.actuator_delayed_until = Some(next + duration);
-                    }
-                    Intervention::Mutate(mut f) => f(&mut self.environment, next),
-                }
-            }
-
-            // Run the loops that are due.
-            if self.model_loop.next_wake() <= next {
-                if let Some(prediction) = self.model_loop.step(next) {
-                    self.actuator_loop.deliver(prediction);
-                }
-            }
-            let actuator_delayed = self.actuator_delayed_until.map(|t| next < t).unwrap_or(false);
-            if !actuator_delayed && self.actuator_loop.next_wake() <= next {
-                self.actuator_loop.step(next);
-            }
-            if let Some(t) = self.actuator_delayed_until {
-                if next >= t {
-                    self.actuator_delayed_until = None;
-                }
-            }
-        }
-
-        let ended_at = self.clock.now();
-        if self.cleanup_on_finish {
-            self.actuator_loop.clean_up(ended_at);
-        }
-        let stats = AgentStats {
-            model: self.model_loop.stats().clone(),
-            actuator: self.actuator_loop.stats().clone(),
-        };
-        let (model, _) = self.model_loop.into_parts();
-        let (actuator, _) = self.actuator_loop.into_parts();
-        Ok(SimReport { model, actuator, environment: self.environment, stats, ended_at })
+    pub fn run_for(self, horizon: SimDuration) -> Result<SimReport<M, A, E>, RuntimeError> {
+        let id = self.id;
+        let mut report = self.node.run_for(horizon)?;
+        let ended_at = report.ended_at;
+        let agent = report.take_agent(id);
+        let (model, actuator, stats) = agent
+            .into_inner::<LoopAgent<M, A>>()
+            .expect("single agent is a LoopAgent")
+            .into_parts();
+        Ok(SimReport { model, actuator, environment: report.environment, stats, ended_at })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::actuator::ActuatorAssessment;
-    use crate::error::DataError;
-    use crate::model::ModelAssessment;
-    use crate::prediction::Prediction;
+    use crate::runtime::testutil::{schedule as schedule_ms, ConstModel, CountActuator, StepEnv};
     use crate::runtime::NullEnvironment;
 
-    /// A counter environment recording how far it was advanced.
-    #[derive(Debug, Default)]
-    struct StepEnv {
-        last: Timestamp,
-        advances: u64,
-        fault: bool,
-    }
-
-    impl Environment for StepEnv {
-        fn advance_to(&mut self, now: Timestamp) {
-            assert!(now >= self.last, "environment time went backwards");
-            self.last = now;
-            self.advances += 1;
-        }
-    }
-
-    struct ConstModel {
-        value: f64,
-    }
-
-    impl Model for ConstModel {
-        type Data = f64;
-        type Pred = f64;
-        fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> {
-            Ok(self.value)
-        }
-        fn validate_data(&self, d: &f64) -> bool {
-            d.is_finite()
-        }
-        fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
-        fn update_model(&mut self, _now: Timestamp) {}
-        fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
-            Some(Prediction::model(self.value, now, now + SimDuration::from_secs(1)))
-        }
-        fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
-            Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
-        }
-        fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
-            ModelAssessment::Healthy
-        }
-    }
-
-    #[derive(Default)]
-    struct CountActuator {
-        actions: u64,
-        with_pred: u64,
-        cleaned: bool,
-    }
-
-    impl Actuator for CountActuator {
-        type Pred = f64;
-        fn take_action(&mut self, _now: Timestamp, pred: Option<&Prediction<f64>>) {
-            self.actions += 1;
-            if pred.is_some() {
-                self.with_pred += 1;
-            }
-        }
-        fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
-            ActuatorAssessment::Acceptable
-        }
-        fn mitigate(&mut self, _now: Timestamp) {}
-        fn clean_up(&mut self, _now: Timestamp) {
-            self.cleaned = true;
-        }
-    }
-
     fn schedule() -> Schedule {
-        Schedule::builder()
-            .data_per_epoch(5)
-            .data_collect_interval(SimDuration::from_millis(100))
-            .max_epoch_time(SimDuration::from_secs(1))
-            .assess_model_every_epochs(1)
-            .max_actuation_delay(SimDuration::from_secs(2))
-            .assess_actuator_interval(SimDuration::from_secs(1))
-            .build()
-            .unwrap()
+        schedule_ms(100)
     }
 
     #[test]
@@ -373,6 +181,20 @@ mod tests {
             NullEnvironment,
         );
         assert!(matches!(rt.run_for(SimDuration::ZERO), Err(RuntimeError::EmptyHorizon)));
+    }
+
+    #[test]
+    fn rejects_zero_environment_step() {
+        let rt = SimRuntime::new(
+            ConstModel { value: 1.0 },
+            CountActuator::default(),
+            schedule(),
+            NullEnvironment,
+        );
+        assert!(matches!(
+            rt.max_environment_step(SimDuration::ZERO),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -473,5 +295,20 @@ mod tests {
             .stats
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn accessors_work_before_a_run() {
+        let rt = SimRuntime::new(
+            ConstModel { value: 3.0 },
+            CountActuator::default(),
+            schedule(),
+            StepEnv::default(),
+        );
+        assert_eq!(rt.model().value, 3.0);
+        assert_eq!(rt.actuator().actions, 0);
+        assert_eq!(rt.now(), Timestamp::ZERO);
+        assert_eq!(rt.stats(), AgentStats::default());
+        assert_eq!(rt.environment().advances, 0);
     }
 }

@@ -32,14 +32,32 @@ pub struct ThreadedReport<M, A> {
     pub stats: AgentStats,
 }
 
+/// How long `Drop` waits for each control-loop thread to exit before
+/// detaching it. Both loops sleep at most 20 ms between stop-flag checks, so
+/// a healthy agent is joined in well under this bound.
+const DROP_JOIN_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
 /// Handle to a running agent hosted on two OS threads.
 ///
 /// Dropping the handle without calling [`stop`](ThreadedAgent::stop) signals
-/// the threads to stop and detaches them.
+/// the threads to stop and joins them (with a bounded timeout, after which a
+/// wedged thread is detached rather than hanging the caller), so tests and
+/// short-lived processes do not leak threads.
 pub struct ThreadedAgent<M: Model, A: Actuator<Pred = M::Pred>> {
     stop: Arc<AtomicBool>,
     model_thread: Option<JoinHandle<(M, crate::stats::ModelLoopStats)>>,
     actuator_thread: Option<JoinHandle<(A, crate::stats::ActuatorLoopStats)>>,
+}
+
+/// Joins `handle` if it finishes before `deadline`; otherwise detaches it.
+fn join_by_deadline<T>(handle: JoinHandle<T>, deadline: std::time::Instant) {
+    while !handle.is_finished() {
+        if std::time::Instant::now() >= deadline {
+            return;
+        }
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let _ = handle.join();
 }
 
 impl<M, A> ThreadedAgent<M, A>
@@ -132,10 +150,14 @@ where
         self.stop.store(true, Ordering::Relaxed);
         let model_thread = self.model_thread.take().expect("model thread present");
         let actuator_thread = self.actuator_thread.take().expect("actuator thread present");
+        // Join both before propagating either error, so a panicked loop
+        // never leaves its sibling thread detached and running.
+        let model_result = model_thread.join();
+        let actuator_result = actuator_thread.join();
         let (model, model_stats) =
-            model_thread.join().map_err(|_| RuntimeError::WorkerPanicked("model"))?;
+            model_result.map_err(|_| RuntimeError::WorkerPanicked("model"))?;
         let (actuator, actuator_stats) =
-            actuator_thread.join().map_err(|_| RuntimeError::WorkerPanicked("actuator"))?;
+            actuator_result.map_err(|_| RuntimeError::WorkerPanicked("actuator"))?;
         Ok(ThreadedReport {
             model,
             actuator,
@@ -160,6 +182,12 @@ where
 impl<M: Model, A: Actuator<Pred = M::Pred>> Drop for ThreadedAgent<M, A> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.model_thread.take() {
+            join_by_deadline(handle, std::time::Instant::now() + DROP_JOIN_TIMEOUT);
+        }
+        if let Some(handle) = self.actuator_thread.take() {
+            join_by_deadline(handle, std::time::Instant::now() + DROP_JOIN_TIMEOUT);
+        }
     }
 }
 
@@ -243,5 +271,26 @@ mod tests {
         assert!(report.actuator.actions >= 1);
         assert!(report.actuator.cleaned);
         assert_eq!(report.stats.actuator.cleanups, 1);
+    }
+
+    #[test]
+    fn drop_joins_worker_threads() {
+        let schedule = Schedule::builder()
+            .data_per_epoch(2)
+            .data_collect_interval(SimDuration::from_millis(5))
+            .max_epoch_time(SimDuration::from_millis(50))
+            .assess_model_every_epochs(1)
+            .max_actuation_delay(SimDuration::from_millis(20))
+            .assess_actuator_interval(SimDuration::from_millis(10))
+            .build()
+            .unwrap();
+        let agent = ThreadedAgent::run(TickModel, TickActuator::default(), schedule);
+        let stop = Arc::clone(&agent.stop);
+        thread::sleep(std::time::Duration::from_millis(30));
+        drop(agent);
+        // Both worker threads held a clone of the stop flag; after a joining
+        // drop only our clone remains. A detaching drop (the old behaviour)
+        // leaves up to two racing clones alive.
+        assert_eq!(Arc::strong_count(&stop), 1, "drop must join both control-loop threads");
     }
 }

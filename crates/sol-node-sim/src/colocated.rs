@@ -1,0 +1,135 @@
+//! A physical node hosting the substrates of several co-located agents.
+//!
+//! The paper's headline scenario (§4.2, §6) is multiple learning agents
+//! sharing one server. [`ColocatedNode`] composes a [`CpuNode`] (the
+//! SmartOverclock substrate) and a [`HarvestNode`] (the SmartHarvest
+//! substrate) into one [`Environment`] that advances both in lockstep under
+//! the runtime's virtual clock, so a
+//! [`NodeRuntime`](sol_core::runtime::node::NodeRuntime) can drive both
+//! agents against it.
+//!
+//! The two substrates are physically coupled: the overclocking agent sets the
+//! node's core frequency, and faster cores complete the harvest-side primary
+//! VM's work in fewer core-seconds, shrinking its core demand (and therefore
+//! enlarging the harvestable pool). Disable the coupling with
+//! [`frequency_coupling`](ColocatedNode::frequency_coupling) to simulate
+//! per-VM frequency domains.
+
+use sol_core::runtime::Environment;
+use sol_core::time::Timestamp;
+
+use crate::cpu_node::CpuNode;
+use crate::harvest_node::HarvestNode;
+use crate::shared::Shared;
+
+/// One server hosting the CPU-overclocking and CPU-harvesting substrates.
+///
+/// # Examples
+///
+/// ```
+/// use sol_core::runtime::Environment;
+/// use sol_core::time::Timestamp;
+/// use sol_node_sim::colocated::ColocatedNode;
+/// use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+/// use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+/// use sol_node_sim::shared::Shared;
+/// use sol_node_sim::workload::OverclockWorkloadKind;
+///
+/// let cpu = Shared::new(CpuNode::new(
+///     OverclockWorkloadKind::ObjectStore.build(8),
+///     CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+/// ));
+/// let harvest =
+///     Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+/// let mut node = ColocatedNode::new(cpu.clone(), harvest.clone());
+/// node.advance_to(Timestamp::from_secs(5));
+/// assert_eq!(cpu.lock().now(), Timestamp::from_secs(5));
+/// assert_eq!(harvest.lock().now(), Timestamp::from_secs(5));
+/// ```
+#[derive(Debug)]
+pub struct ColocatedNode {
+    cpu: Shared<CpuNode>,
+    harvest: Shared<HarvestNode>,
+    couple_frequency: bool,
+}
+
+impl ColocatedNode {
+    /// Composes the two substrates, with frequency coupling enabled.
+    pub fn new(cpu: Shared<CpuNode>, harvest: Shared<HarvestNode>) -> Self {
+        ColocatedNode { cpu, harvest, couple_frequency: true }
+    }
+
+    /// Enables or disables the frequency→demand coupling between the
+    /// overclocked cores and the harvest-side primary VM.
+    pub fn frequency_coupling(mut self, enable: bool) -> Self {
+        self.couple_frequency = enable;
+        self
+    }
+
+    /// Handle to the CPU/DVFS substrate.
+    pub fn cpu(&self) -> &Shared<CpuNode> {
+        &self.cpu
+    }
+
+    /// Handle to the harvesting substrate.
+    pub fn harvest(&self) -> &Shared<HarvestNode> {
+        &self.harvest
+    }
+}
+
+impl Environment for ColocatedNode {
+    fn advance_to(&mut self, now: Timestamp) {
+        if self.couple_frequency {
+            let factor = self.cpu.with(|n| n.frequency_ghz() / n.nominal_frequency_ghz());
+            self.harvest.with(|h| h.set_core_speed_factor(factor));
+        }
+        self.cpu.with(|n| n.advance_to(now));
+        self.harvest.with(|h| h.advance_to(now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_node::CpuNodeConfig;
+    use crate::harvest_node::{BurstyService, HarvestNodeConfig};
+    use crate::workload::OverclockWorkloadKind;
+
+    fn node() -> (ColocatedNode, Shared<CpuNode>, Shared<HarvestNode>) {
+        let cpu = Shared::new(CpuNode::new(
+            OverclockWorkloadKind::ObjectStore.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        ));
+        let harvest =
+            Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+        (ColocatedNode::new(cpu.clone(), harvest.clone()), cpu, harvest)
+    }
+
+    #[test]
+    fn advances_both_substrates_in_lockstep() {
+        let (mut colo, cpu, harvest) = node();
+        colo.advance_to(Timestamp::from_secs(3));
+        assert_eq!(cpu.lock().now(), Timestamp::from_secs(3));
+        assert_eq!(harvest.lock().now(), Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn overclocking_propagates_to_primary_demand() {
+        let (mut colo, cpu, harvest) = node();
+        colo.advance_to(Timestamp::from_secs(1));
+        assert_eq!(harvest.lock().core_speed_factor(), 1.0);
+        cpu.lock().set_frequency_ghz(2.3);
+        colo.advance_to(Timestamp::from_secs(2));
+        let factor = harvest.lock().core_speed_factor();
+        assert!((factor - 2.3 / 1.5).abs() < 1e-9, "factor {factor}");
+    }
+
+    #[test]
+    fn coupling_can_be_disabled() {
+        let (colo, cpu, harvest) = node();
+        let mut colo = colo.frequency_coupling(false);
+        cpu.lock().set_frequency_ghz(2.3);
+        colo.advance_to(Timestamp::from_secs(1));
+        assert_eq!(harvest.lock().core_speed_factor(), 1.0);
+    }
+}

@@ -151,6 +151,10 @@ impl Default for HarvestNodeConfig {
 pub struct HarvestNode {
     config: HarvestNodeConfig,
     service: BurstyService,
+    /// Relative speed of the node's cores (1.0 = nominal). When a co-located
+    /// overclocking agent raises the frequency, the same work occupies fewer
+    /// core-seconds, so the primary VM's core demand shrinks by this factor.
+    core_speed_factor: f64,
     primary_cores: usize,
     now: Timestamp,
     last_used_cores: f64,
@@ -186,6 +190,7 @@ impl HarvestNode {
             wait_window: SlidingWindow::new(config.wait_window),
             config,
             service,
+            core_speed_factor: 1.0,
             primary_cores: primary,
             now: Timestamp::ZERO,
             last_used_cores: 0.0,
@@ -228,6 +233,25 @@ impl HarvestNode {
     /// Returns every core to the primary VM (mitigation / clean-up).
     pub fn return_all_cores(&mut self) {
         self.primary_cores = self.config.total_cores;
+    }
+
+    /// Sets the relative core speed (1.0 = nominal), clamped to `[0.1, 10]`.
+    ///
+    /// Co-location plumbing: when an overclocking agent shares the node, the
+    /// primary VM's work completes faster on faster cores, so its core demand
+    /// scales by `1 / factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite.
+    pub fn set_core_speed_factor(&mut self, factor: f64) {
+        assert!(factor.is_finite(), "core speed factor must be finite");
+        self.core_speed_factor = factor.clamp(0.1, 10.0);
+    }
+
+    /// The current relative core speed.
+    pub fn core_speed_factor(&self) -> f64 {
+        self.core_speed_factor
     }
 
     /// Takes one hypervisor usage sample for the primary VM.
@@ -291,7 +315,7 @@ impl HarvestNode {
 
     fn step_once(&mut self, dt: SimDuration) {
         let now = self.now;
-        let demand = self.service.demand(now);
+        let demand = self.service.demand(now) / self.core_speed_factor;
         let allocated = self.primary_cores as f64;
         let used = demand.min(allocated);
         let shortfall = (demand - allocated).max(0.0);
@@ -413,6 +437,23 @@ mod tests {
         let s = node.sample_primary_usage();
         assert!(!s.is_saturated());
         assert_eq!(s.allocated_cores, 8.0);
+    }
+
+    #[test]
+    fn faster_cores_shrink_primary_demand() {
+        let mut slow = HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default());
+        let mut fast = HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default());
+        fast.set_core_speed_factor(1.5);
+        // Starve both: bursts need 6 cores at nominal speed, 4 when 1.5x.
+        slow.set_primary_cores(2);
+        fast.set_primary_cores(2);
+        slow.advance_to(Timestamp::from_secs(20));
+        fast.advance_to(Timestamp::from_secs(20));
+        assert!(fast.p99_latency_ms() < slow.p99_latency_ms());
+        assert!(fast.total_wait() < slow.total_wait());
+        // A nonsense factor is clamped, not applied raw.
+        fast.set_core_speed_factor(1e9);
+        assert_eq!(fast.core_speed_factor(), 10.0);
     }
 
     #[test]

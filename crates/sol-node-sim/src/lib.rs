@@ -14,6 +14,8 @@
 //! * [`memory_node`] — a two-tier memory system with per-batch access bits,
 //!   Zipf-skewed access generators, and local/remote access counters
 //!   (SmartMemory).
+//! * [`colocated`] — one physical node composing the CPU and harvesting
+//!   substrates for multi-agent co-location runs.
 //! * [`workload`] — the CPU workload models from the paper's evaluation
 //!   (Synthetic, ObjectStore, DiskSpeed).
 //! * [`power`], [`counters`], [`metrics`], [`shared`] — supporting pieces.
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod colocated;
 pub mod counters;
 pub mod cpu_node;
 pub mod harvest_node;
@@ -35,6 +38,7 @@ pub mod workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::colocated::ColocatedNode;
     pub use crate::counters::{CounterSample, CpuCounters};
     pub use crate::cpu_node::{CpuNode, CpuNodeConfig, CpuTracePoint};
     pub use crate::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig, UsageSample};

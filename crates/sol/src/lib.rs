@@ -2,13 +2,15 @@
 //!
 //! This facade crate re-exports the whole reproduction:
 //!
-//! * [`core`](sol_core) — the SOL framework (Model/Actuator API, safeguards,
-//!   deterministic and threaded runtimes).
-//! * [`ml`](sol_ml) — the online learners the agents use (Q-learning,
+//! * [`core`] — the SOL framework (Model/Actuator API, safeguards, the
+//!   multi-agent event-queue runtime, deterministic and threaded drivers).
+//! * [`ml`] — the online learners the agents use (Q-learning,
 //!   cost-sensitive classification, Thompson sampling, streaming statistics).
-//! * [`node_sim`](sol_node_sim) — the simulated cloud node (CPU/DVFS/power,
-//!   hypervisor counters, CPU harvesting, two-tier memory, fault injection).
-//! * [`agents`](sol_agents) — SmartOverclock, SmartHarvest, and SmartMemory.
+//! * [`node_sim`] — the simulated cloud node (CPU/DVFS/power, hypervisor
+//!   counters, CPU harvesting, two-tier memory, co-location, fault
+//!   injection).
+//! * [`agents`] — SmartOverclock, SmartHarvest, SmartMemory, and their
+//!   co-location wiring.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `sol-bench` crate for the harness that regenerates every table and figure

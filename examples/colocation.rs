@@ -1,0 +1,52 @@
+//! Co-location end to end: SmartOverclock and SmartHarvest share one node,
+//! driven by the multi-agent event-queue runtime. Midway through the run the
+//! overclock agent's Model thread is delayed for 30 seconds — the harvest
+//! agent keeps running beside it, and each agent's safety counters are
+//! reported separately.
+//!
+//! Run with: `cargo run --release --example colocation`
+
+use sol::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = SimDuration::from_secs(120);
+
+    let agents = colocated_agents(ColocationConfig::default());
+    let (overclock_id, harvest_id) = (agents.overclock_id, agents.harvest_id);
+    let (cpu, harvest_node) = (agents.cpu.clone(), agents.harvest_node.clone());
+
+    // Targeted failure injection: only the overclock Model thread stalls.
+    let mut runtime = agents.runtime;
+    runtime.delay_model_at(overclock_id, Timestamp::from_secs(45), SimDuration::from_secs(30));
+
+    let report = runtime.run_for(horizon)?;
+
+    println!("co-located run: {} agents, horizon {}", report.agents.len(), horizon);
+    for agent in &report.agents {
+        let s = &agent.stats;
+        println!(
+            "  {:<16} epochs={:<4} short-circuited={:<3} model-preds={:<4} defaults={:<4} \
+             safeguard-trips={} timeouts={}",
+            agent.name,
+            s.model.epochs_completed,
+            s.model.epochs_short_circuited,
+            s.model.model_predictions,
+            s.model.default_predictions,
+            s.actuator.safeguard_triggers,
+            s.actuator.actuation_timeouts,
+        );
+    }
+
+    let (perf, power) = cpu.with(|n| (n.performance().score, n.average_power_watts()));
+    let (p99, harvested) = harvest_node.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+    println!("node outcome:");
+    println!("  overclocked VM: perf score {perf:.3}, avg power {power:.1} W");
+    println!("  primary VM:     p99 latency {p99:.2} ms, harvested {harvested:.1} core-s");
+
+    let delayed = report.agent(overclock_id).stats.model.epochs_completed;
+    let harvest_epochs = report.agent(harvest_id).stats.model.epochs_completed;
+    assert!(delayed < 120, "the 30s delay must cost the overclock agent epochs");
+    assert!(harvest_epochs > 2_000, "the harvest agent must be unaffected enough to keep learning");
+    println!("targeted delay verified: overclock lost epochs, harvest kept {harvest_epochs}");
+    Ok(())
+}

@@ -1,8 +1,10 @@
-//! Determinism regression tests: the discrete-event runtime must be exactly
-//! reproducible. Two `SimRuntime` runs with identical config and seed have to
-//! produce byte-identical `SimReport` stats (compared via their full `Debug`
-//! rendering, so any new non-deterministic field shows up as a diff) and
-//! identical environment metrics.
+//! Determinism regression tests: the discrete-event runtimes must be exactly
+//! reproducible. Two runs with identical config and seed have to produce
+//! byte-identical stats (compared via their full `Debug` rendering, so any
+//! new non-deterministic field shows up as a diff) and identical environment
+//! metrics. A second suite asserts runtime *equivalence*: a single-agent
+//! `NodeRuntime` must reproduce the `SimRuntime` path byte for byte for all
+//! three agents, and multi-agent co-located runs must be deterministic too.
 
 use sol_agents::prelude::*;
 use sol_core::prelude::*;
@@ -63,6 +65,120 @@ fn smart_memory_runs_are_byte_identical() {
             (debug_bytes(&n.local_batch_count()), debug_bytes(&n.recent_remote_fraction()))
         });
         (stats, metrics, report.ended_at)
+    };
+    assert_eq!(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime equivalence: a single-agent NodeRuntime must reproduce SimRuntime
+// byte for byte — same agent, same environment, same horizon, same seed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn node_runtime_matches_sim_runtime_for_smart_overclock() {
+    let make_node = || {
+        Shared::new(CpuNode::new(
+            OverclockWorkloadKind::Synthetic.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        ))
+    };
+    let horizon = SimDuration::from_secs(120);
+
+    let sim_node = make_node();
+    let (model, actuator) = smart_overclock(&sim_node, OverclockConfig::default());
+    let sim = SimRuntime::new(model, actuator, overclock_schedule(), sim_node.clone())
+        .run_for(horizon)
+        .unwrap();
+
+    let node_node = make_node();
+    let (model, actuator) = smart_overclock(&node_node, OverclockConfig::default());
+    let mut rt = NodeRuntime::new(node_node.clone());
+    let id = rt.register_agent("smart-overclock", model, actuator, overclock_schedule());
+    let node = rt.run_for(horizon).unwrap();
+
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(sim.ended_at, node.ended_at);
+    let metrics =
+        |n: &Shared<CpuNode>| n.with(|n| (debug_bytes(&n.energy_joules()), n.frequency_changes()));
+    assert_eq!(metrics(&sim_node), metrics(&node_node));
+}
+
+#[test]
+fn node_runtime_matches_sim_runtime_for_smart_harvest() {
+    let make_node =
+        || Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+    let horizon = SimDuration::from_secs(60);
+
+    let sim_node = make_node();
+    let (model, actuator) = smart_harvest(&sim_node, HarvestConfig::default());
+    let sim = SimRuntime::new(model, actuator, harvest_schedule(), sim_node.clone())
+        .run_for(horizon)
+        .unwrap();
+
+    let node_node = make_node();
+    let (model, actuator) = smart_harvest(&node_node, HarvestConfig::default());
+    let mut rt = NodeRuntime::new(node_node.clone());
+    let id = rt.register_agent("smart-harvest", model, actuator, harvest_schedule());
+    let node = rt.run_for(horizon).unwrap();
+
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(sim.ended_at, node.ended_at);
+    let metrics = |n: &Shared<HarvestNode>| {
+        n.with(|n| (debug_bytes(&n.harvested_core_seconds()), debug_bytes(&n.mean_latency_ms())))
+    };
+    assert_eq!(metrics(&sim_node), metrics(&node_node));
+}
+
+#[test]
+fn node_runtime_matches_sim_runtime_for_smart_memory() {
+    let make_node = || {
+        Shared::new(MemoryNode::new(
+            MemoryWorkloadKind::Sql,
+            MemoryNodeConfig { batches: 64, accesses_per_sec: 10_000.0, ..Default::default() },
+        ))
+    };
+    let horizon = SimDuration::from_secs(120);
+
+    let sim_node = make_node();
+    let (model, actuator) = smart_memory(&sim_node, MemoryConfig::default());
+    let sim = SimRuntime::new(model, actuator, memory_schedule(), sim_node.clone())
+        .run_for(horizon)
+        .unwrap();
+
+    let node_node = make_node();
+    let (model, actuator) = smart_memory(&node_node, MemoryConfig::default());
+    let mut rt = NodeRuntime::new(node_node.clone());
+    let id = rt.register_agent("smart-memory", model, actuator, memory_schedule());
+    let node = rt.run_for(horizon).unwrap();
+
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(sim.ended_at, node.ended_at);
+    let metrics = |n: &Shared<MemoryNode>| {
+        n.with(|n| (debug_bytes(&n.local_batch_count()), debug_bytes(&n.recent_remote_fraction())))
+    };
+    assert_eq!(metrics(&sim_node), metrics(&node_node));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-agent determinism: same seed ⇒ byte-identical per-agent stats and
+// environment metrics, including with a targeted intervention in flight.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn colocated_runs_are_byte_identical_per_agent() {
+    let run = || {
+        let agents = colocated_agents(ColocationConfig::default());
+        let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+        let mut runtime = agents.runtime;
+        runtime.delay_model_at(oc, Timestamp::from_secs(20), SimDuration::from_secs(10));
+        let report = runtime.run_for(SimDuration::from_secs(60)).unwrap();
+        let oc_stats = debug_bytes(&report.agent(oc).stats);
+        let hv_stats = debug_bytes(&report.agent(hv).stats);
+        let cpu_metrics = agents.cpu.with(|n| debug_bytes(&n.energy_joules()));
+        let hv_metrics = agents.harvest_node.with(|n| {
+            (debug_bytes(&n.harvested_core_seconds()), debug_bytes(&n.mean_latency_ms()))
+        });
+        (oc_stats, hv_stats, cpu_metrics, hv_metrics, report.ended_at)
     };
     assert_eq!(run(), run());
 }

@@ -53,3 +53,8 @@ fn tiered_memory_example_runs() {
 fn failure_injection_example_runs() {
     run_example("failure_injection");
 }
+
+#[test]
+fn colocation_example_runs() {
+    run_example("colocation");
+}
