@@ -1,26 +1,37 @@
-//! Co-location: SmartOverclock and SmartHarvest sharing one node.
+//! Co-location presets: SOL agent populations sharing one node.
 //!
 //! The paper's central claim (§4.2, §6) is that multiple SOL agents run
-//! safely on the same server. This module wires the two CPU-side agents onto
-//! one [`ColocatedNode`] and registers both with a multi-agent
-//! [`NodeRuntime`], so experiments can measure interference between agents
-//! and target failure injection at either one
-//! ([`NodeRuntime::delay_model_at`]) while the other keeps running.
+//! safely on the same server. This module packages ready-to-run node
+//! assemblies on top of the typed
+//! [`ScenarioBuilder`](sol_core::runtime::builder::ScenarioBuilder) API and
+//! the composable [`MultiNode`] environment:
 //!
-//! The substrates are physically coupled through the core frequency: when
-//! SmartOverclock raises the frequency, the harvest-side primary VM's work
-//! completes in fewer core-seconds, enlarging the harvestable pool (see
-//! [`sol_node_sim::colocated`]).
+//! * [`colocated_agents`] — the two CPU-side agents (SmartOverclock +
+//!   SmartHarvest) on one node, the configuration evaluated throughout
+//!   `sol-bench`'s interference table.
+//! * [`three_agents`] — all three paper agents (SmartOverclock, SmartHarvest,
+//!   SmartMemory) on one node, with both physical couplings
+//!   (frequency→demand and frequency→memory-bandwidth).
+//!
+//! Each preset returns typed [`AgentHandle`]s, so experiments target
+//! interventions ([`NodeRuntime::delay_model_at`]) and read per-agent reports
+//! without any downcasting. For custom populations, compose
+//! [`MultiNode::builder`] and the per-agent blueprints
+//! ([`overclock_blueprint`], [`harvest_blueprint`], [`memory_blueprint`])
+//! directly.
 
-use sol_core::runtime::node::{AgentId, NodeRuntime};
-use sol_node_sim::colocated::ColocatedNode;
+use sol_core::runtime::builder::AgentHandle;
+use sol_core::runtime::node::NodeRuntime;
 use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
 use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+use sol_node_sim::memory_node::{MemoryNode, MemoryNodeConfig, MemoryWorkloadKind};
+use sol_node_sim::multi_node::{Coupling, MultiNode};
 use sol_node_sim::shared::Shared;
 use sol_node_sim::workload::OverclockWorkloadKind;
 
-use crate::harvest::{harvest_schedule, smart_harvest, HarvestConfig};
-use crate::overclock::{overclock_schedule, smart_overclock, OverclockConfig};
+use crate::harvest::{harvest_blueprint, HarvestActuator, HarvestConfig, HarvestModel};
+use crate::memory::{memory_blueprint, MemoryActuator, MemoryConfig, MemoryModel};
+use crate::overclock::{overclock_blueprint, OverclockActuator, OverclockConfig, OverclockModel};
 
 /// Configuration for a co-located two-agent node.
 #[derive(Debug, Clone)]
@@ -53,15 +64,15 @@ impl Default for ColocationConfig {
     }
 }
 
-/// A ready-to-run co-located node: the runtime plus the ids and node handles
-/// needed to target interventions and read metrics afterwards.
+/// A ready-to-run co-located node: the runtime plus the typed handles and
+/// node handles needed to target interventions and read reports afterwards.
 pub struct ColocatedAgents {
     /// The multi-agent runtime hosting both agents.
-    pub runtime: NodeRuntime<ColocatedNode>,
-    /// Id of the SmartOverclock agent (registered first).
-    pub overclock_id: AgentId,
-    /// Id of the SmartHarvest agent (registered second).
-    pub harvest_id: AgentId,
+    pub runtime: NodeRuntime<MultiNode>,
+    /// Typed handle to the SmartOverclock agent (registered first).
+    pub overclock: AgentHandle<OverclockModel, OverclockActuator>,
+    /// Typed handle to the SmartHarvest agent (registered second).
+    pub harvest: AgentHandle<HarvestModel, HarvestActuator>,
     /// Handle to the CPU/DVFS substrate (also reachable via the report's
     /// environment).
     pub cpu: Shared<CpuNode>,
@@ -79,10 +90,10 @@ pub struct ColocatedAgents {
 /// use sol_core::time::SimDuration;
 ///
 /// let agents = colocated_agents(ColocationConfig::default());
-/// let (overclock_id, harvest_id) = (agents.overclock_id, agents.harvest_id);
+/// let (overclock, harvest) = (agents.overclock, agents.harvest);
 /// let report = agents.runtime.run_for(SimDuration::from_secs(5))?;
-/// assert!(report.agent(overclock_id).stats.model.epochs_completed > 0);
-/// assert!(report.agent(harvest_id).stats.model.epochs_completed > 0);
+/// assert!(report.agent(overclock).stats().model.epochs_completed > 0);
+/// assert!(report.agent(harvest).stats().model.epochs_completed > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn colocated_agents(config: ColocationConfig) -> ColocatedAgents {
@@ -91,18 +102,142 @@ pub fn colocated_agents(config: ColocationConfig) -> ColocatedAgents {
         CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() },
     ));
     let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
-    let node = ColocatedNode::new(cpu.clone(), harvest_node.clone())
-        .frequency_coupling(config.couple_frequency);
+    let mut node = MultiNode::builder().cpu(cpu.clone()).harvest(harvest_node.clone());
+    if config.couple_frequency {
+        node = node.coupling(Coupling::FrequencyToDemand);
+    }
+    let node = node.build().expect("both coupled substrates are registered");
 
-    let mut runtime = NodeRuntime::new(node);
-    let (oc_model, oc_actuator) = smart_overclock(&cpu, config.overclock);
-    let overclock_id =
-        runtime.register_agent("smart-overclock", oc_model, oc_actuator, overclock_schedule());
-    let (hv_model, hv_actuator) = smart_harvest(&harvest_node, config.harvest);
-    let harvest_id =
-        runtime.register_agent("smart-harvest", hv_model, hv_actuator, harvest_schedule());
+    let mut builder = NodeRuntime::builder(node);
+    let overclock = builder.register(overclock_blueprint(&cpu, config.overclock));
+    let harvest = builder.register(harvest_blueprint(&harvest_node, config.harvest));
 
-    ColocatedAgents { runtime, overclock_id, harvest_id, cpu, harvest_node }
+    ColocatedAgents { runtime: builder.build(), overclock, harvest, cpu, harvest_node }
+}
+
+/// Configuration for the full three-agent node of the paper's deployment
+/// story.
+#[derive(Debug, Clone)]
+pub struct ThreeAgentConfig {
+    /// SmartOverclock agent configuration.
+    pub overclock: OverclockConfig,
+    /// SmartHarvest agent configuration.
+    pub harvest: HarvestConfig,
+    /// SmartMemory agent configuration.
+    pub memory: MemoryConfig,
+    /// Workload hosted by the overclocked VM.
+    pub workload: OverclockWorkloadKind,
+    /// Latency-sensitive service hosted by the harvest-side primary VM.
+    pub service: BurstyService,
+    /// Memory workload whose pages SmartMemory manages.
+    pub memory_workload: MemoryWorkloadKind,
+    /// Two-tier memory substrate configuration.
+    pub memory_node: MemoryNodeConfig,
+    /// Cores visible to the overclocked VM.
+    pub cores: usize,
+    /// Whether overclocking speeds up the harvest-side primary VM
+    /// (shared frequency domain).
+    pub couple_frequency: bool,
+    /// Whether overclocking raises the memory workload's access rate
+    /// (frequency→memory-bandwidth coupling).
+    pub couple_memory_bandwidth: bool,
+}
+
+impl Default for ThreeAgentConfig {
+    fn default() -> Self {
+        ThreeAgentConfig {
+            overclock: OverclockConfig::default(),
+            harvest: HarvestConfig::default(),
+            memory: MemoryConfig::default(),
+            workload: OverclockWorkloadKind::ObjectStore,
+            service: BurstyService::image_dnn(),
+            memory_workload: MemoryWorkloadKind::ObjectStore,
+            memory_node: MemoryNodeConfig {
+                batches: 128,
+                accesses_per_sec: 40_000.0,
+                ..MemoryNodeConfig::default()
+            },
+            cores: 8,
+            couple_frequency: true,
+            couple_memory_bandwidth: true,
+        }
+    }
+}
+
+/// A ready-to-run node hosting all three paper agents, with typed handles to
+/// each.
+pub struct ThreeAgents {
+    /// The multi-agent runtime hosting all three agents.
+    pub runtime: NodeRuntime<MultiNode>,
+    /// Typed handle to the SmartOverclock agent (registered first).
+    pub overclock: AgentHandle<OverclockModel, OverclockActuator>,
+    /// Typed handle to the SmartHarvest agent (registered second).
+    pub harvest: AgentHandle<HarvestModel, HarvestActuator>,
+    /// Typed handle to the SmartMemory agent (registered third).
+    pub memory: AgentHandle<MemoryModel, MemoryActuator>,
+    /// Handle to the CPU/DVFS substrate.
+    pub cpu: Shared<CpuNode>,
+    /// Handle to the harvesting substrate.
+    pub harvest_node: Shared<HarvestNode>,
+    /// Handle to the two-tier memory substrate.
+    pub memory_node: Shared<MemoryNode>,
+}
+
+/// Builds a [`NodeRuntime`] hosting all **three** paper agents —
+/// SmartOverclock, SmartHarvest, and SmartMemory — on one [`MultiNode`] with
+/// both physical couplings declared.
+///
+/// # Examples
+///
+/// ```
+/// use sol_agents::colocation::{three_agents, ThreeAgentConfig};
+/// use sol_core::time::SimDuration;
+///
+/// let agents = three_agents(ThreeAgentConfig::default());
+/// let (oc, hv, mem) = (agents.overclock, agents.harvest, agents.memory);
+/// let report = agents.runtime.run_for(SimDuration::from_secs(10))?;
+/// // All three learners made progress on the shared node, read back through
+/// // typed handles with no downcasts.
+/// assert!(report.agent(oc).stats().model.epochs_completed > 0);
+/// assert!(report.agent(hv).stats().model.epochs_completed > 0);
+/// assert!(report.agent(mem).stats().model.samples_committed > 0);
+/// assert_eq!(report.agent(mem).name(), "smart-memory");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn three_agents(config: ThreeAgentConfig) -> ThreeAgents {
+    let cpu = Shared::new(CpuNode::new(
+        config.workload.build(config.cores),
+        CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() },
+    ));
+    let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
+    let memory_node = Shared::new(MemoryNode::new(config.memory_workload, config.memory_node));
+
+    let mut node = MultiNode::builder()
+        .cpu(cpu.clone())
+        .harvest(harvest_node.clone())
+        .memory(memory_node.clone());
+    if config.couple_frequency {
+        node = node.coupling(Coupling::FrequencyToDemand);
+    }
+    if config.couple_memory_bandwidth {
+        node = node.coupling(Coupling::FrequencyToMemoryBandwidth);
+    }
+    let node = node.build().expect("all coupled substrates are registered");
+
+    let mut builder = NodeRuntime::builder(node);
+    let overclock = builder.register(overclock_blueprint(&cpu, config.overclock));
+    let harvest = builder.register(harvest_blueprint(&harvest_node, config.harvest));
+    let memory = builder.register(memory_blueprint(&memory_node, config.memory));
+
+    ThreeAgents {
+        runtime: builder.build(),
+        overclock,
+        harvest,
+        memory,
+        cpu,
+        harvest_node,
+        memory_node,
+    }
 }
 
 #[cfg(test)]
@@ -113,16 +248,16 @@ mod tests {
     #[test]
     fn both_agents_make_progress_on_one_node() {
         let agents = colocated_agents(ColocationConfig::default());
-        let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+        let (oc, hv) = (agents.overclock, agents.harvest);
         let report = agents.runtime.run_for(SimDuration::from_secs(30)).unwrap();
-        assert!(report.agent(oc).stats.model.epochs_completed >= 25);
-        assert!(report.agent(hv).stats.model.epochs_completed >= 500);
-        assert_eq!(report.agent(oc).name, "smart-overclock");
-        assert_eq!(report.agent(hv).name, "smart-harvest");
+        assert!(report.agent(oc).stats().model.epochs_completed >= 25);
+        assert!(report.agent(hv).stats().model.epochs_completed >= 500);
+        assert_eq!(report.agent(oc).name(), "smart-overclock");
+        assert_eq!(report.agent(hv).name(), "smart-harvest");
         // Both substrates reached the horizon under the shared clock.
         let env = &report.environment;
-        assert_eq!(env.cpu().lock().now(), Timestamp::from_secs(30));
-        assert_eq!(env.harvest().lock().now(), Timestamp::from_secs(30));
+        assert_eq!(env.cpu().unwrap().lock().now(), Timestamp::from_secs(30));
+        assert_eq!(env.harvest().unwrap().lock().now(), Timestamp::from_secs(30));
     }
 
     #[test]
@@ -134,13 +269,13 @@ mod tests {
         let run = |delay_overclock: bool| {
             let config = ColocationConfig { couple_frequency: false, ..Default::default() };
             let agents = colocated_agents(config);
-            let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+            let (oc, hv) = (agents.overclock, agents.harvest);
             let mut runtime = agents.runtime;
             if delay_overclock {
                 runtime.delay_model_at(oc, Timestamp::from_secs(5), SimDuration::from_secs(20));
             }
             let report = runtime.run_for(SimDuration::from_secs(30)).unwrap();
-            (report.agent(oc).stats.clone(), report.agent(hv).stats.clone())
+            (report.agent(oc).stats().clone(), report.agent(hv).stats().clone())
         };
         let (oc_delayed, hv_beside_delay) = run(true);
         let (oc_clean, hv_clean) = run(false);
@@ -165,5 +300,73 @@ mod tests {
         // With the coupling, overclocking the CPU-bound workload shrinks the
         // primary VM's demand, so there is at least as much to harvest.
         assert!(run(true) >= run(false) * 0.99);
+    }
+
+    #[test]
+    fn three_agents_make_progress_on_one_node() {
+        let agents = three_agents(ThreeAgentConfig::default());
+        let (oc, hv, mem) = (agents.overclock, agents.harvest, agents.memory);
+        let report = agents.runtime.run_for(SimDuration::from_secs(45)).unwrap();
+        assert!(report.agent(oc).stats().model.epochs_completed >= 35);
+        assert!(report.agent(hv).stats().model.epochs_completed >= 800);
+        // SmartMemory epochs are 38.4 s long: one full epoch fits in 45 s.
+        assert!(report.agent(mem).stats().model.epochs_completed >= 1);
+        // All three substrates reached the horizon under the shared clock.
+        for now in [
+            agents.cpu.with(|n| n.now()),
+            agents.harvest_node.with(|n| n.now()),
+            agents.memory_node.with(|n| n.now()),
+        ] {
+            assert_eq!(now, Timestamp::from_secs(45));
+        }
+    }
+
+    #[test]
+    fn memory_bandwidth_coupling_scales_access_rate_with_overclocking() {
+        let run = |couple: bool| {
+            let config = ThreeAgentConfig {
+                couple_memory_bandwidth: couple,
+                // Keep frequency behaviour identical across both runs so the
+                // only difference is whether it reaches the memory substrate.
+                ..Default::default()
+            };
+            let agents = three_agents(config);
+            agents.runtime.run_for(SimDuration::from_secs(20)).unwrap();
+            agents.memory_node.with(|n| n.local_accesses() + n.remote_accesses())
+        };
+        // The ObjectStore CPU workload overclocks quickly, so the coupled
+        // memory substrate sees at least as many accesses.
+        assert!(run(true) >= run(false));
+    }
+
+    #[test]
+    fn targeted_delay_leaves_the_other_two_agents_untouched() {
+        let run = |delay_memory: bool| {
+            let config = ThreeAgentConfig {
+                couple_frequency: false,
+                couple_memory_bandwidth: false,
+                ..Default::default()
+            };
+            let agents = three_agents(config);
+            let mut runtime = agents.runtime;
+            if delay_memory {
+                runtime.delay_model_at(
+                    agents.memory,
+                    Timestamp::from_secs(5),
+                    SimDuration::from_secs(20),
+                );
+            }
+            let report = runtime.run_for(SimDuration::from_secs(30)).unwrap();
+            (
+                report.agent(agents.overclock).stats().clone(),
+                report.agent(agents.harvest).stats().clone(),
+                report.agent(agents.memory).stats().clone(),
+            )
+        };
+        let (oc_d, hv_d, mem_d) = run(true);
+        let (oc_c, hv_c, mem_c) = run(false);
+        assert!(mem_d.model.samples_committed < mem_c.model.samples_committed);
+        assert_eq!(oc_d, oc_c, "the overclock agent must be unaffected");
+        assert_eq!(hv_d, hv_c, "the harvest agent must be unaffected");
     }
 }

@@ -365,6 +365,23 @@ pub fn smart_harvest(
     (HarvestModel::new(node.clone(), config.clone()), HarvestActuator::new(node.clone(), config))
 }
 
+/// The SmartHarvest agent packaged for
+/// [`ScenarioBuilder::register`](sol_core::runtime::builder::ScenarioBuilder::register):
+/// name `"smart-harvest"`, the model/actuator pair for `node`, and the
+/// paper's schedule.
+pub fn harvest_blueprint(
+    node: &Shared<HarvestNode>,
+    config: HarvestConfig,
+) -> sol_core::runtime::builder::AgentBlueprint<HarvestModel, HarvestActuator> {
+    let (model, actuator) = smart_harvest(node, config);
+    sol_core::runtime::builder::AgentBlueprint::new(
+        "smart-harvest",
+        model,
+        actuator,
+        harvest_schedule(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,14 +10,17 @@
 //!   predicts near-future CPU demand so idle cores can be loaned out safely.
 //! * [`memory`] — **SmartMemory**: Thompson-sampling access-bit scanning and
 //!   hot/warm/cold page classification for two-tier memory.
-//! * [`colocation`] — SmartOverclock and SmartHarvest co-located on one
-//!   shared node, driven by the multi-agent
-//!   [`NodeRuntime`](sol_core::runtime::node::NodeRuntime).
+//! * [`colocation`] — co-location presets (two-agent and full three-agent
+//!   populations) on one shared
+//!   [`MultiNode`](sol_node_sim::multi_node::MultiNode), assembled through the
+//!   typed [`ScenarioBuilder`](sol_core::runtime::builder::ScenarioBuilder).
 //!
 //! Each module provides a `Model`/`Actuator` pair, a `*_schedule()` helper
-//! matching the paper's control-loop timing, configuration structs with
-//! per-safeguard toggles (so the failure-injection experiments can compare
-//! "with" and "without" variants), and fault-injection flags (broken model).
+//! matching the paper's control-loop timing, a `*_blueprint()` package for
+//! [`ScenarioBuilder::register`](sol_core::runtime::builder::ScenarioBuilder::register),
+//! configuration structs with per-safeguard toggles (so the failure-injection
+//! experiments can compare "with" and "without" variants), and
+//! fault-injection flags (broken model).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,17 +32,20 @@ pub mod overclock;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::colocation::{colocated_agents, ColocatedAgents, ColocationConfig};
+    pub use crate::colocation::{
+        colocated_agents, three_agents, ColocatedAgents, ColocationConfig, ThreeAgentConfig,
+        ThreeAgents,
+    };
     pub use crate::harvest::{
-        blocking_harvest_schedule, harvest_schedule, smart_harvest, CoreDemandPrediction,
-        HarvestActuator, HarvestConfig, HarvestModel,
+        blocking_harvest_schedule, harvest_blueprint, harvest_schedule, smart_harvest,
+        CoreDemandPrediction, HarvestActuator, HarvestConfig, HarvestModel,
     };
     pub use crate::memory::{
-        memory_schedule, smart_memory, BatchClass, MemoryActuator, MemoryConfig, MemoryModel,
-        PlacementPlan, ScanRound, SCAN_INTERVALS,
+        memory_blueprint, memory_schedule, smart_memory, BatchClass, MemoryActuator, MemoryConfig,
+        MemoryModel, PlacementPlan, ScanRound, SCAN_INTERVALS,
     };
     pub use crate::overclock::{
-        blocking_overclock_schedule, overclock_schedule, smart_overclock, FrequencyDecision,
-        OverclockActuator, OverclockConfig, OverclockModel,
+        blocking_overclock_schedule, overclock_blueprint, overclock_schedule, smart_overclock,
+        FrequencyDecision, OverclockActuator, OverclockConfig, OverclockModel,
     };
 }

@@ -569,6 +569,23 @@ pub fn smart_memory(
     (MemoryModel::new(node.clone(), config.clone()), MemoryActuator::new(node.clone(), config))
 }
 
+/// The SmartMemory agent packaged for
+/// [`ScenarioBuilder::register`](sol_core::runtime::builder::ScenarioBuilder::register):
+/// name `"smart-memory"`, the model/actuator pair for `node`, and the paper's
+/// schedule.
+pub fn memory_blueprint(
+    node: &Shared<MemoryNode>,
+    config: MemoryConfig,
+) -> sol_core::runtime::builder::AgentBlueprint<MemoryModel, MemoryActuator> {
+    let (model, actuator) = smart_memory(node, config);
+    sol_core::runtime::builder::AgentBlueprint::new(
+        "smart-memory",
+        model,
+        actuator,
+        memory_schedule(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

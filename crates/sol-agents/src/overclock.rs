@@ -402,6 +402,23 @@ pub fn smart_overclock(
     )
 }
 
+/// The SmartOverclock agent packaged for
+/// [`ScenarioBuilder::register`](sol_core::runtime::builder::ScenarioBuilder::register):
+/// name `"smart-overclock"`, the model/actuator pair for `node`, and the
+/// paper's schedule.
+pub fn overclock_blueprint(
+    node: &Shared<CpuNode>,
+    config: OverclockConfig,
+) -> sol_core::runtime::builder::AgentBlueprint<OverclockModel, OverclockActuator> {
+    let (model, actuator) = smart_overclock(node, config);
+    sol_core::runtime::builder::AgentBlueprint::new(
+        "smart-overclock",
+        model,
+        actuator,
+        overclock_schedule(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,22 +1,27 @@
-//! Co-location experiments: SmartOverclock and SmartHarvest sharing one node.
+//! Co-location experiments: SOL agent populations sharing one node.
 //!
 //! The paper evaluates its agents one at a time; its deployment story (§4.2)
 //! is several agents per node. These experiments measure what co-location
 //! does to each agent's workload outcome and safety counters:
 //!
 //! * each agent **solo** on its own node (the paper's setup),
-//! * both agents **co-located** with separate frequency domains (no physical
-//!   interference — any change is runtime overhead, which must be nil), and
-//! * both agents co-located on a **shared frequency domain**, where
+//! * both CPU-side agents **co-located** with separate frequency domains (no
+//!   physical interference — any change is runtime overhead, which must be
+//!   nil),
+//! * both CPU-side agents co-located on a **shared frequency domain**, where
 //!   overclocking speeds up the primary VM and enlarges the harvestable
 //!   pool,
+//! * a targeted failure injection: the overclock Model thread is delayed
+//!   mid-run while the harvest agent keeps running beside it, and
+//! * all **three** paper agents on one node (SmartMemory joins through the
+//!   frequency→memory-bandwidth coupling).
 //!
-//! plus a targeted failure injection: the overclock Model thread is delayed
-//! mid-run while the harvest agent keeps running beside it.
+//! Every scenario assembles its node through the typed `ScenarioBuilder` and
+//! reads reports back through `AgentHandle`s — no downcasts.
 
-use sol_agents::colocation::{colocated_agents, ColocationConfig};
-use sol_agents::harvest::{harvest_schedule, smart_harvest, HarvestConfig};
-use sol_agents::overclock::{overclock_schedule, smart_overclock, OverclockConfig};
+use sol_agents::colocation::{colocated_agents, three_agents, ColocationConfig, ThreeAgentConfig};
+use sol_agents::harvest::{harvest_blueprint, HarvestConfig};
+use sol_agents::overclock::{overclock_blueprint, OverclockConfig};
 use sol_core::prelude::*;
 use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
 use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
@@ -27,7 +32,7 @@ use sol_node_sim::workload::OverclockWorkloadKind;
 const CORES: usize = 8;
 
 /// Outcome of one co-location scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ColocationRow {
     /// Scenario name.
     pub scenario: String,
@@ -40,10 +45,17 @@ pub struct ColocationRow {
     pub p99_latency_ms: Option<f64>,
     /// Core-seconds delivered to the ElasticVM (if the agent ran).
     pub harvested_core_seconds: Option<f64>,
+    /// SmartMemory 80%-local SLO attainment (if the agent ran).
+    pub slo_attainment: Option<f64>,
+    /// Batches offloaded to the second memory tier at the end of the run (if
+    /// the agent ran).
+    pub remote_batches: Option<usize>,
     /// SmartOverclock runtime counters (if the agent ran).
     pub overclock_stats: Option<AgentStats>,
     /// SmartHarvest runtime counters (if the agent ran).
     pub harvest_stats: Option<AgentStats>,
+    /// SmartMemory runtime counters (if the agent ran).
+    pub memory_stats: Option<AgentStats>,
 }
 
 /// Runs SmartOverclock alone on its own node (the paper's setup).
@@ -52,18 +64,16 @@ pub fn solo_overclock(horizon: SimDuration) -> ColocationRow {
         OverclockWorkloadKind::ObjectStore.build(CORES),
         CpuNodeConfig { cores: CORES, ..Default::default() },
     ));
-    let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
-    let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
-    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let mut builder = NodeRuntime::builder(node.clone());
+    let agent = builder.register(overclock_blueprint(&node, OverclockConfig::default()));
+    let report = builder.build().run_for(horizon).expect("non-empty horizon");
     let (perf, power) = node.with(|n| (n.performance().score, n.average_power_watts()));
     ColocationRow {
         scenario: "overclock solo".into(),
         perf_score: Some(perf),
         avg_power_watts: Some(power),
-        p99_latency_ms: None,
-        harvested_core_seconds: None,
-        overclock_stats: Some(report.stats),
-        harvest_stats: None,
+        overclock_stats: Some(report.agent(agent).stats().clone()),
+        ..ColocationRow::default()
     }
 }
 
@@ -71,22 +81,20 @@ pub fn solo_overclock(horizon: SimDuration) -> ColocationRow {
 pub fn solo_harvest(horizon: SimDuration) -> ColocationRow {
     let node =
         Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
-    let (model, actuator) = smart_harvest(&node, HarvestConfig::default());
-    let runtime = SimRuntime::new(model, actuator, harvest_schedule(), node.clone());
-    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let mut builder = NodeRuntime::builder(node.clone());
+    let agent = builder.register(harvest_blueprint(&node, HarvestConfig::default()));
+    let report = builder.build().run_for(horizon).expect("non-empty horizon");
     let (latency, harvested) = node.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
     ColocationRow {
         scenario: "harvest solo".into(),
-        perf_score: None,
-        avg_power_watts: None,
         p99_latency_ms: Some(latency),
         harvested_core_seconds: Some(harvested),
-        overclock_stats: None,
-        harvest_stats: Some(report.stats),
+        harvest_stats: Some(report.agent(agent).stats().clone()),
+        ..ColocationRow::default()
     }
 }
 
-/// Runs both agents co-located on one node.
+/// Runs both CPU-side agents co-located on one node.
 ///
 /// `couple_frequency` selects a shared frequency domain (overclocking speeds
 /// up the primary VM) versus separate domains; `delay_overclock_model`
@@ -99,7 +107,7 @@ pub fn colocated(
     scenario: impl Into<String>,
 ) -> ColocationRow {
     let agents = colocated_agents(ColocationConfig { couple_frequency, ..Default::default() });
-    let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+    let (oc, hv) = (agents.overclock, agents.harvest);
     let mut runtime = agents.runtime;
     if let Some((at, duration)) = delay_overclock_model {
         runtime.delay_model_at(oc, at, duration);
@@ -114,13 +122,39 @@ pub fn colocated(
         avg_power_watts: Some(power),
         p99_latency_ms: Some(latency),
         harvested_core_seconds: Some(harvested),
-        overclock_stats: Some(report.agent(oc).stats.clone()),
-        harvest_stats: Some(report.agent(hv).stats.clone()),
+        overclock_stats: Some(report.agent(oc).stats().clone()),
+        harvest_stats: Some(report.agent(hv).stats().clone()),
+        ..ColocationRow::default()
+    }
+}
+
+/// Runs all three paper agents co-located on one fully coupled node.
+pub fn three_agent_colocated(horizon: SimDuration) -> ColocationRow {
+    let agents = three_agents(ThreeAgentConfig::default());
+    let (oc, hv, mem) = (agents.overclock, agents.harvest, agents.memory);
+    let report = agents.runtime.run_for(horizon).expect("non-empty horizon");
+    let (perf, power) = agents.cpu.with(|n| (n.performance().score, n.average_power_watts()));
+    let (latency, harvested) =
+        agents.harvest_node.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+    let (slo, remote) =
+        agents.memory_node.with(|n| (n.slo_attainment(0.8), n.remote_batch_count()));
+    ColocationRow {
+        scenario: "co-located, three agents".into(),
+        perf_score: Some(perf),
+        avg_power_watts: Some(power),
+        p99_latency_ms: Some(latency),
+        harvested_core_seconds: Some(harvested),
+        slo_attainment: Some(slo),
+        remote_batches: Some(remote),
+        overclock_stats: Some(report.agent(oc).stats().clone()),
+        harvest_stats: Some(report.agent(hv).stats().clone()),
+        memory_stats: Some(report.agent(mem).stats().clone()),
     }
 }
 
 /// The full interference table: solo baselines, co-location with and without
-/// a shared frequency domain, and a targeted Model delay.
+/// a shared frequency domain, a targeted Model delay, and the three-agent
+/// population.
 pub fn interference_table(horizon: SimDuration) -> Vec<ColocationRow> {
     vec![
         solo_overclock(horizon),
@@ -133,6 +167,7 @@ pub fn interference_table(horizon: SimDuration) -> Vec<ColocationRow> {
             Some((Timestamp::from_secs(30), SimDuration::from_secs(30))),
             "co-located + 30s overclock-model delay",
         ),
+        three_agent_colocated(horizon),
     ]
 }
 
@@ -143,15 +178,21 @@ mod tests {
     #[test]
     fn interference_table_has_expected_scenarios() {
         let rows = interference_table(SimDuration::from_secs(20));
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         // Solo rows only report their own substrate.
         assert!(rows[0].perf_score.is_some() && rows[0].p99_latency_ms.is_none());
         assert!(rows[1].perf_score.is_none() && rows[1].p99_latency_ms.is_some());
-        // Co-located rows report both.
-        for row in &rows[2..] {
+        // Two-agent co-located rows report both CPU-side substrates.
+        for row in &rows[2..5] {
             assert!(row.perf_score.is_some() && row.p99_latency_ms.is_some(), "{}", row.scenario);
             assert!(row.overclock_stats.is_some() && row.harvest_stats.is_some());
+            assert!(row.memory_stats.is_none());
         }
+        // The three-agent row reports everything.
+        let three = &rows[5];
+        assert!(three.perf_score.is_some() && three.p99_latency_ms.is_some());
+        assert!(three.slo_attainment.is_some() && three.remote_batches.is_some());
+        assert!(three.memory_stats.is_some());
     }
 
     #[test]
@@ -184,5 +225,14 @@ mod tests {
         let delayed_hv = delayed.harvest_stats.unwrap();
         let clean_hv = clean.harvest_stats.unwrap();
         assert!(delayed_hv.actions_taken() as f64 >= clean_hv.actions_taken() as f64 * 0.95);
+    }
+
+    #[test]
+    fn three_agent_row_reports_progress_for_every_agent() {
+        let row = three_agent_colocated(SimDuration::from_secs(45));
+        assert!(row.overclock_stats.unwrap().model.epochs_completed >= 35);
+        assert!(row.harvest_stats.unwrap().model.epochs_completed >= 800);
+        assert!(row.memory_stats.unwrap().model.epochs_completed >= 1);
+        assert!(row.slo_attainment.unwrap() > 0.5);
     }
 }

@@ -43,18 +43,21 @@ fn run_once(
 ) -> (Shared<HarvestNode>, AgentStats) {
     let node = Shared::new(HarvestNode::new(service.clone(), HarvestNodeConfig::default()));
     let (model, actuator) = smart_harvest(&node, config);
-    let mut runtime = SimRuntime::new(model, actuator, schedule, node.clone());
+    let mut builder = NodeRuntime::builder(node.clone());
+    let agent = builder.agent("smart-harvest", model, actuator, schedule);
+    let mut runtime = builder.build();
     if delays_at_bursts {
         // Inject a 1-second Model scheduling delay at every burst start — the
         // worst case: demand rises exactly while the model cannot run.
         let mut t = Timestamp::ZERO + service.burst_period;
         while t < Timestamp::ZERO + horizon {
-            runtime.delay_model_at(t, SimDuration::from_secs(1));
+            runtime.delay_model_at(agent, t, SimDuration::from_secs(1));
             t += service.burst_period * 4;
         }
     }
     let report = runtime.run_for(horizon).expect("non-empty horizon");
-    (node, report.stats)
+    let stats = report.agent(agent).stats().clone();
+    (node, stats)
 }
 
 fn baseline_latencies(service: &BurstyService, horizon: SimDuration) -> (f64, f64) {

@@ -1,7 +1,7 @@
 //! Experiments reproducing Figures 7 and 8 (the SmartMemory evaluation,
 //! paper §6.4).
 
-use sol_agents::memory::{memory_schedule, smart_memory, MemoryConfig, SCAN_INTERVALS};
+use sol_agents::memory::{memory_blueprint, MemoryConfig, SCAN_INTERVALS};
 use sol_core::prelude::*;
 use sol_node_sim::memory_node::{MemoryNode, MemoryNodeConfig, MemoryWorkloadKind, Tier};
 use sol_node_sim::shared::Shared;
@@ -111,9 +111,9 @@ pub fn run_smart_memory(
     horizon: SimDuration,
 ) -> (MemoryOutcome, AgentStats, Shared<MemoryNode>) {
     let node = make_node(kind);
-    let (model, actuator) = smart_memory(&node, config);
-    let runtime = SimRuntime::new(model, actuator, memory_schedule(), node.clone());
-    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let mut builder = NodeRuntime::builder(node.clone());
+    let agent = builder.register(memory_blueprint(&node, config));
+    let report = builder.build().run_for(horizon).expect("non-empty horizon");
     let (resets, local, slo) = node.with(|n| {
         (
             n.access_bit_resets(),
@@ -129,7 +129,7 @@ pub fn run_smart_memory(
             local_fraction: local,
             slo_attainment: slo,
         },
-        report.stats,
+        report.agent(agent).stats().clone(),
         node,
     )
 }

@@ -2,7 +2,8 @@
 //! paper §6.2).
 
 use sol_agents::overclock::{
-    blocking_overclock_schedule, overclock_schedule, smart_overclock, OverclockConfig,
+    blocking_overclock_schedule, overclock_blueprint, overclock_schedule, smart_overclock,
+    OverclockConfig,
 };
 use sol_core::prelude::*;
 use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
@@ -62,9 +63,9 @@ pub fn run_smart_overclock(
     horizon: SimDuration,
 ) -> (PolicyOutcome, AgentStats) {
     let node = make_node(kind);
-    let (model, actuator) = smart_overclock(&node, config);
-    let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
-    let report = runtime.run_for(horizon).expect("non-empty horizon");
+    let mut builder = NodeRuntime::builder(node.clone());
+    let agent = builder.register(overclock_blueprint(&node, config));
+    let report = builder.build().run_for(horizon).expect("non-empty horizon");
     let (performance, power_watts) =
         node.with(|n| (n.performance().score, n.average_power_watts()));
     (
@@ -74,7 +75,7 @@ pub fn run_smart_overclock(
             performance,
             power_watts,
         },
-        report.stats,
+        report.agent(agent).stats().clone(),
     )
 }
 
@@ -143,9 +144,9 @@ pub fn fig2(horizon: SimDuration, bad_fractions: &[f64]) -> Vec<Fig2Row> {
             let node = make_node(OverclockWorkloadKind::Synthetic);
             node.with(|n| n.set_bad_ips_probability(fraction));
             let config = OverclockConfig { validate_data: validation, ..Default::default() };
-            let (model, actuator) = smart_overclock(&node, config);
-            let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
-            let report = runtime.run_for(horizon).expect("non-empty horizon");
+            let mut builder = NodeRuntime::builder(node.clone());
+            let agent = builder.register(overclock_blueprint(&node, config));
+            let report = builder.build().run_for(horizon).expect("non-empty horizon");
             let (performance, power) =
                 node.with(|n| (n.performance().score, n.average_power_watts()));
             rows.push(Fig2Row {
@@ -153,7 +154,7 @@ pub fn fig2(horizon: SimDuration, bad_fractions: &[f64]) -> Vec<Fig2Row> {
                 validation,
                 normalized_performance: performance / ideal.performance.max(1e-12),
                 normalized_power: power / ideal.power_watts.max(1e-12),
-                samples_discarded: report.stats.model.samples_discarded,
+                samples_discarded: report.agent(agent).stats().model.samples_discarded,
             });
         }
     }
@@ -239,9 +240,11 @@ pub fn fig4(horizon: SimDuration) -> Vec<Fig4Row> {
         ));
         node.with(|n| n.enable_trace());
         let (model, actuator) = smart_overclock(&node, OverclockConfig::default());
-        let mut runtime = SimRuntime::new(model, actuator, schedule, node.clone());
+        let mut builder = NodeRuntime::builder(node.clone());
+        let agent = builder.agent("smart-overclock", model, actuator, schedule);
+        let mut runtime = builder.build();
         if inject {
-            runtime.delay_model_at(delay_at, delay);
+            runtime.delay_model_at(agent, delay_at, delay);
         }
         let report = runtime.run_for(horizon).expect("non-empty horizon");
         let window_power = node.with(|n| {
@@ -257,7 +260,7 @@ pub fn fig4(horizon: SimDuration) -> Vec<Fig4Row> {
                 pts.iter().sum::<f64>() / pts.len() as f64
             }
         });
-        (window_power, report.stats)
+        (window_power, report.agent(agent).stats().clone())
     };
 
     let (baseline_power, _) = run(overclock_schedule(), false);
@@ -307,9 +310,9 @@ pub fn fig5(horizon: SimDuration) -> Vec<Fig5Row> {
         ));
         node.with(|n| n.enable_trace());
         let config = OverclockConfig { actuator_safeguard, ..Default::default() };
-        let (model, actuator) = smart_overclock(&node, config);
-        let runtime = SimRuntime::new(model, actuator, overclock_schedule(), node.clone());
-        let report = runtime.run_for(horizon).expect("non-empty horizon");
+        let mut builder = NodeRuntime::builder(node.clone());
+        let agent = builder.register(overclock_blueprint(&node, config));
+        let report = builder.build().run_for(horizon).expect("non-empty horizon");
 
         // The batch takes ~100 s at nominal (less when overclocked); treat
         // everything after 120 s in each period as idle.
@@ -342,7 +345,7 @@ pub fn fig5(horizon: SimDuration) -> Vec<Fig5Row> {
             idle_power_watts: idle_power,
             active_power_watts: active_power,
             idle_overclocked_fraction: idle_overclocked,
-            safeguard_triggers: report.stats.actuator.safeguard_triggers,
+            safeguard_triggers: report.agent(agent).stats().actuator.safeguard_triggers,
         });
     }
     rows

@@ -93,12 +93,16 @@ pub mod time;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::actuator::{Actuator, ActuatorAssessment};
-    pub use crate::error::{DataError, RuntimeError};
+    pub use crate::error::{DataError, ReportError, RuntimeError};
     pub use crate::model::{Model, ModelAssessment};
     pub use crate::prediction::{Prediction, PredictionSource};
+    pub use crate::runtime::builder::{
+        AgentBlueprint, AgentHandle, AgentView, DriverHandle, ScenarioBuilder, TakenAgent,
+    };
     pub use crate::runtime::node::{
         AgentDriver, AgentId, AgentReport, LoopAgent, NodeReport, NodeRuntime,
     };
+    pub use crate::runtime::replay::{ReplayDriver, ReplayEntry};
     pub use crate::runtime::sim::{SimReport, SimRuntime};
     pub use crate::runtime::threaded::{run_agent, ThreadedAgent, ThreadedReport};
     pub use crate::runtime::{Environment, NullEnvironment};

@@ -1,0 +1,624 @@
+//! `ScenarioBuilder`: a typed, composable node-assembly API.
+//!
+//! [`NodeRuntime`] hosts arbitrary agent
+//! populations behind the type-erased [`AgentDriver`] trait; this module is
+//! the typed front door to it. A [`ScenarioBuilder`] registers each agent and
+//! hands back an [`AgentHandle`] carrying the agent's concrete `Model` and
+//! `Actuator` types, so post-run inspection needs no `Any` downcasting at
+//! call sites:
+//!
+//! * [`ScenarioBuilder::agent`] registers a `Model`/`Actuator` pair and
+//!   returns a typed [`AgentHandle<M, A>`].
+//! * [`ScenarioBuilder::register`] consumes a pre-packaged
+//!   [`AgentBlueprint`] (what the `sol-agents` crate exports for each paper
+//!   agent).
+//! * [`ScenarioBuilder::driver`] registers a custom [`AgentDriver`] (a replay
+//!   agent, an adversarial load generator) and returns a typed
+//!   [`DriverHandle<D>`].
+//! * [`ScenarioBuilder::build`] yields the assembled `NodeRuntime`; the
+//!   handles then index into it and into the final
+//!   [`NodeReport`]:
+//!   [`NodeReport::agent`](crate::runtime::node::NodeReport::agent) returns a
+//!   typed [`AgentView`] and
+//!   [`NodeReport::take`](crate::runtime::node::NodeReport::take) recovers the
+//!   concrete halves by value.
+//!
+//! The untyped [`AgentId`] +
+//! [`AgentReport::inner`](crate::runtime::node::AgentReport::inner) pattern
+//! remains available as the escape hatch for code that genuinely needs type
+//! erasure (e.g. looping over heterogeneous agents).
+//!
+//! # Examples
+//!
+//! ```
+//! use sol_core::prelude::*;
+//! # use sol_core::error::DataError;
+//! # struct M;
+//! # impl Model for M {
+//! #     type Data = f64;
+//! #     type Pred = f64;
+//! #     fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> { Ok(1.0) }
+//! #     fn validate_data(&self, d: &f64) -> bool { d.is_finite() }
+//! #     fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
+//! #     fn update_model(&mut self, _now: Timestamp) {}
+//! #     fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+//! #         Some(Prediction::model(2.0, now, now + SimDuration::from_secs(1)))
+//! #     }
+//! #     fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+//! #         Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+//! #     }
+//! #     fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment { ModelAssessment::Healthy }
+//! # }
+//! # #[derive(Default)]
+//! # struct A { count: u64 }
+//! # impl Actuator for A {
+//! #     type Pred = f64;
+//! #     fn take_action(&mut self, _now: Timestamp, _pred: Option<&Prediction<f64>>) {
+//! #         self.count += 1;
+//! #     }
+//! #     fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+//! #         ActuatorAssessment::Acceptable
+//! #     }
+//! #     fn mitigate(&mut self, _now: Timestamp) {}
+//! #     fn clean_up(&mut self, _now: Timestamp) {}
+//! # }
+//! let schedule = Schedule::builder()
+//!     .data_per_epoch(2)
+//!     .data_collect_interval(SimDuration::from_millis(100))
+//!     .max_epoch_time(SimDuration::from_secs(1))
+//!     .build()?;
+//!
+//! let mut builder = NodeRuntime::builder(NullEnvironment);
+//! let fast = builder.agent("fast", M, A::default(), schedule.clone());
+//! let slow = builder.agent("slow", M, A::default(), schedule);
+//! let runtime = builder.build();
+//!
+//! let mut report = runtime.run_for(SimDuration::from_secs(5))?;
+//! // Typed access through the handles: no downcasts.
+//! assert!(report.agent(fast).stats().model.epochs_completed > 0);
+//! assert!(report.agent(slow).actuator().count > 0);
+//! let taken = report.take(fast);
+//! assert_eq!(taken.name, "fast");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::marker::PhantomData;
+
+use crate::actuator::Actuator;
+use crate::error::{ReportError, RuntimeError};
+use crate::model::Model;
+use crate::runtime::node::{AgentDriver, AgentId, LoopAgent, NodeReport, NodeRuntime};
+use crate::runtime::Environment;
+use crate::schedule::Schedule;
+use crate::stats::AgentStats;
+use crate::time::SimDuration;
+
+/// A typed token for an agent registered through a [`ScenarioBuilder`]:
+/// carries the agent's [`AgentId`] plus its concrete `Model`/`Actuator` types,
+/// so reports can be read back without downcasting.
+///
+/// Handles are `Copy` and convert [`Into`] an [`AgentId`] wherever the untyped
+/// runtime API (e.g.
+/// [`NodeRuntime::delay_model_at`](crate::runtime::node::NodeRuntime::delay_model_at))
+/// wants one.
+pub struct AgentHandle<M, A> {
+    id: AgentId,
+    _types: PhantomData<fn() -> (M, A)>,
+}
+
+impl<M, A> AgentHandle<M, A> {
+    fn new(id: AgentId) -> Self {
+        AgentHandle { id, _types: PhantomData }
+    }
+
+    /// The untyped id of this agent (the escape hatch into the `AgentId` API).
+    pub fn id(self) -> AgentId {
+        self.id
+    }
+}
+
+impl<M, A> Clone for AgentHandle<M, A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M, A> Copy for AgentHandle<M, A> {}
+
+impl<M, A> std::fmt::Debug for AgentHandle<M, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AgentHandle({})", self.id)
+    }
+}
+
+impl<M, A> From<AgentHandle<M, A>> for AgentId {
+    fn from(handle: AgentHandle<M, A>) -> AgentId {
+        handle.id
+    }
+}
+
+/// A typed token for a custom [`AgentDriver`] registered through
+/// [`ScenarioBuilder::driver`], carrying the driver's concrete type.
+pub struct DriverHandle<D> {
+    id: AgentId,
+    _driver: PhantomData<fn() -> D>,
+}
+
+impl<D> DriverHandle<D> {
+    fn new(id: AgentId) -> Self {
+        DriverHandle { id, _driver: PhantomData }
+    }
+
+    /// The untyped id of this agent.
+    pub fn id(self) -> AgentId {
+        self.id
+    }
+}
+
+impl<D> Clone for DriverHandle<D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D> Copy for DriverHandle<D> {}
+
+impl<D> std::fmt::Debug for DriverHandle<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DriverHandle({})", self.id)
+    }
+}
+
+impl<D> From<DriverHandle<D>> for AgentId {
+    fn from(handle: DriverHandle<D>) -> AgentId {
+        handle.id
+    }
+}
+
+/// Everything needed to register one agent: a name, the `Model`/`Actuator`
+/// halves, and the control-loop schedule.
+///
+/// Blueprints let agent crates package their wiring once (e.g.
+/// `overclock_blueprint(&node, config)` in `sol-agents`) so every scenario —
+/// solo runs, two-agent co-location, N-agent fleets — assembles the same
+/// agent the same way via [`ScenarioBuilder::register`].
+pub struct AgentBlueprint<M: Model, A: Actuator<Pred = M::Pred>> {
+    /// Name the agent is registered under (shows up in reports).
+    pub name: String,
+    /// The agent's Model half.
+    pub model: M,
+    /// The agent's Actuator half.
+    pub actuator: A,
+    /// The schedule driving both control loops.
+    pub schedule: Schedule,
+}
+
+impl<M: Model, A: Actuator<Pred = M::Pred>> AgentBlueprint<M, A> {
+    /// Packages the parts of one agent.
+    pub fn new(name: impl Into<String>, model: M, actuator: A, schedule: Schedule) -> Self {
+        AgentBlueprint { name: name.into(), model, actuator, schedule }
+    }
+}
+
+/// Assembles a [`NodeRuntime`] hosting an arbitrary agent population on one
+/// shared environment. See the [module docs](self) for the full API tour.
+///
+/// Created with [`NodeRuntime::builder`].
+pub struct ScenarioBuilder<E: Environment + 'static> {
+    runtime: NodeRuntime<E>,
+}
+
+impl<E: Environment + 'static> ScenarioBuilder<E> {
+    pub(crate) fn new(runtime: NodeRuntime<E>) -> Self {
+        ScenarioBuilder { runtime }
+    }
+
+    /// Overrides the maximum environment step (defaults to the smallest
+    /// registered data collection interval, clamped to `[1ms, 1s]`). The
+    /// explicit value sticks regardless of registration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `step` is zero.
+    pub fn max_environment_step(mut self, step: SimDuration) -> Result<Self, RuntimeError> {
+        self.runtime = self.runtime.max_environment_step(step)?;
+        Ok(self)
+    }
+
+    /// Requests that every agent's clean-up routine run when the simulation
+    /// horizon is reached.
+    pub fn cleanup_on_finish(mut self, enable: bool) -> Self {
+        self.runtime = self.runtime.cleanup_on_finish(enable);
+        self
+    }
+
+    /// Registers a `Model`/`Actuator` pair under `name`, driven by `schedule`,
+    /// and returns a typed handle to it.
+    pub fn agent<M, A>(
+        &mut self,
+        name: impl Into<String>,
+        model: M,
+        actuator: A,
+        schedule: Schedule,
+    ) -> AgentHandle<M, A>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        AgentHandle::new(self.runtime.register_agent(name, model, actuator, schedule))
+    }
+
+    /// Registers a pre-packaged [`AgentBlueprint`] and returns its typed
+    /// handle. Equivalent to calling [`agent`](Self::agent) with the
+    /// blueprint's parts.
+    pub fn register<M, A>(&mut self, blueprint: AgentBlueprint<M, A>) -> AgentHandle<M, A>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        self.agent(blueprint.name, blueprint.model, blueprint.actuator, blueprint.schedule)
+    }
+
+    /// Registers a custom [`AgentDriver`] (e.g. a
+    /// [`ReplayDriver`](crate::runtime::replay::ReplayDriver)) under `name`
+    /// and returns a typed handle to it.
+    ///
+    /// Custom drivers declare no schedule, so they do not influence the
+    /// default environment step; set
+    /// [`max_environment_step`](Self::max_environment_step) explicitly if the
+    /// scenario contains only drivers.
+    pub fn driver<D: AgentDriver<E>>(
+        &mut self,
+        name: impl Into<String>,
+        driver: D,
+    ) -> DriverHandle<D> {
+        DriverHandle::new(self.runtime.register_driver(name, Box::new(driver)))
+    }
+
+    /// Number of agents registered so far.
+    pub fn agent_count(&self) -> usize {
+        self.runtime.agent_count()
+    }
+
+    /// Read access to the environment being assembled.
+    pub fn environment(&self) -> &E {
+        self.runtime.environment()
+    }
+
+    /// Mutable access to the environment being assembled.
+    pub fn environment_mut(&mut self) -> &mut E {
+        self.runtime.environment_mut()
+    }
+
+    /// Finishes assembly and returns the runtime, ready to
+    /// [`run_for`](NodeRuntime::run_for) (or to schedule interventions on
+    /// first — the handles convert into [`AgentId`]s).
+    pub fn build(self) -> NodeRuntime<E> {
+        self.runtime
+    }
+}
+
+/// A typed, borrowed view of one agent in a
+/// [`NodeReport`], obtained through
+/// [`NodeReport::agent`] with an [`AgentHandle`].
+pub struct AgentView<'a, M: Model, A: Actuator<Pred = M::Pred>> {
+    name: &'a str,
+    stats: &'a AgentStats,
+    agent: &'a LoopAgent<M, A>,
+}
+
+impl<'a, M: Model, A: Actuator<Pred = M::Pred>> AgentView<'a, M, A> {
+    /// The name the agent was registered under.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// Final runtime counters.
+    pub fn stats(&self) -> &'a AgentStats {
+        self.stats
+    }
+
+    /// The agent's concrete model.
+    pub fn model(&self) -> &'a M {
+        self.agent.model()
+    }
+
+    /// The agent's concrete actuator.
+    pub fn actuator(&self) -> &'a A {
+        self.agent.actuator()
+    }
+}
+
+/// One agent recovered by value from a report via [`NodeReport::take`].
+pub struct TakenAgent<M, A> {
+    /// The name the agent was registered under.
+    pub name: String,
+    /// The agent's concrete model.
+    pub model: M,
+    /// The agent's concrete actuator.
+    pub actuator: A,
+    /// Final runtime counters.
+    pub stats: AgentStats,
+}
+
+impl<E: Environment + 'static> NodeReport<E> {
+    /// Typed view of one agent through its [`AgentHandle`] — model, actuator,
+    /// and stats with no downcasting at the call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from a different runtime or the agent was
+    /// already taken; use [`try_agent`](Self::try_agent) to handle that as a
+    /// [`ReportError`] instead.
+    pub fn agent<M, A>(&self, handle: AgentHandle<M, A>) -> AgentView<'_, M, A>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        self.try_agent(handle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`agent`](Self::agent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownAgent`] for a foreign or already-taken
+    /// handle, [`ReportError::WrongAgentType`] if a foreign handle aliases an
+    /// agent of a different type.
+    pub fn try_agent<M, A>(
+        &self,
+        handle: AgentHandle<M, A>,
+    ) -> Result<AgentView<'_, M, A>, ReportError>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        let report = self.agent_report(handle.id)?;
+        let agent = report
+            .inner::<LoopAgent<M, A>>()
+            .ok_or_else(|| ReportError::WrongAgentType(handle.id.to_string()))?;
+        Ok(AgentView { name: &report.name, stats: &report.stats, agent })
+    }
+
+    /// Removes one agent from the report and returns its concrete halves by
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from a different runtime or the agent was
+    /// already taken; use [`try_take`](Self::try_take) to handle that as a
+    /// [`ReportError`] instead.
+    pub fn take<M, A>(&mut self, handle: AgentHandle<M, A>) -> TakenAgent<M, A>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        self.try_take(handle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`take`](Self::take).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownAgent`] for a foreign or already-taken
+    /// handle, [`ReportError::WrongAgentType`] if a foreign handle aliases an
+    /// agent of a different type. The report is left untouched on error.
+    pub fn try_take<M, A>(
+        &mut self,
+        handle: AgentHandle<M, A>,
+    ) -> Result<TakenAgent<M, A>, ReportError>
+    where
+        M: Model + 'static,
+        A: Actuator<Pred = M::Pred> + 'static,
+    {
+        // Verify the type before removing so errors leave the report intact.
+        self.try_agent(handle)?;
+        let report = self.take_agent(handle.id)?;
+        let name = report.name.clone();
+        let (model, actuator, stats) =
+            report.into_inner::<LoopAgent<M, A>>().expect("type verified above").into_parts();
+        Ok(TakenAgent { name, model, actuator, stats })
+    }
+
+    /// Typed access to a custom driver through its [`DriverHandle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from a different runtime or the driver was
+    /// already taken; use [`try_driver`](Self::try_driver) instead to handle
+    /// that as a [`ReportError`].
+    pub fn driver<D: 'static>(&self, handle: DriverHandle<D>) -> &D {
+        self.try_driver(handle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`driver`](Self::driver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownAgent`] for a foreign or already-taken
+    /// handle, [`ReportError::WrongAgentType`] if a foreign handle aliases an
+    /// agent of a different type.
+    pub fn try_driver<D: 'static>(&self, handle: DriverHandle<D>) -> Result<&D, ReportError> {
+        let report = self.agent_report(handle.id)?;
+        report.inner::<D>().ok_or_else(|| ReportError::WrongAgentType(handle.id.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::node::NodeRuntime;
+    use crate::runtime::testutil::{schedule, ConstModel, CountActuator, StepEnv};
+    use crate::runtime::NullEnvironment;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn builder_assembles_typed_agents() {
+        let mut builder = NodeRuntime::builder(StepEnv::default());
+        let fast = builder.agent(
+            "fast",
+            ConstModel { value: 1.0 },
+            CountActuator::default(),
+            schedule(100),
+        );
+        let slow = builder.agent(
+            "slow",
+            ConstModel { value: 2.0 },
+            CountActuator::default(),
+            schedule(200),
+        );
+        let report = builder.build().run_for(SimDuration::from_secs(10)).unwrap();
+        assert_eq!(report.agent(fast).stats().model.epochs_completed, 20);
+        assert_eq!(report.agent(slow).stats().model.epochs_completed, 10);
+        assert_eq!(report.agent(fast).name(), "fast");
+        // Typed model/actuator access without downcasts.
+        assert_eq!(report.agent(fast).model().value, 1.0);
+        assert!(report.agent(slow).actuator().actions > 0);
+    }
+
+    #[test]
+    fn builder_matches_manual_registration_byte_for_byte() {
+        let manual = {
+            let mut rt = NodeRuntime::new(StepEnv::default());
+            let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+            let b = rt.register_agent("b", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(70)
+            });
+            let report = rt.run_for(SimDuration::from_secs(7)).unwrap();
+            (
+                format!("{:#?}", report.agent_report(a).unwrap().stats),
+                format!("{:#?}", report.agent_report(b).unwrap().stats),
+                report.environment.advances,
+                report.ended_at,
+            )
+        };
+        let built = {
+            let mut builder = NodeRuntime::builder(StepEnv::default());
+            let a = builder.agent(
+                "a",
+                ConstModel { value: 1.0 },
+                CountActuator::default(),
+                schedule(100),
+            );
+            let b = builder.agent(
+                "b",
+                ConstModel { value: 2.0 },
+                CountActuator::default(),
+                schedule(70),
+            );
+            let report = builder.build().run_for(SimDuration::from_secs(7)).unwrap();
+            (
+                format!("{:#?}", report.agent(a).stats()),
+                format!("{:#?}", report.agent(b).stats()),
+                report.environment.advances,
+                report.ended_at,
+            )
+        };
+        assert_eq!(manual, built);
+    }
+
+    #[test]
+    fn handles_target_interventions() {
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let delayed =
+            builder.agent("delayed", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        let healthy =
+            builder.agent("healthy", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        let mut runtime = builder.build();
+        // The handle converts into an AgentId for the untyped API.
+        runtime.delay_model_at(delayed, Timestamp::from_secs(2), SimDuration::from_secs(5));
+        let report = runtime.run_for(SimDuration::from_secs(10)).unwrap();
+        assert!(
+            report.agent(delayed).stats().model.epochs_completed
+                < report.agent(healthy).stats().model.epochs_completed
+        );
+    }
+
+    #[test]
+    fn take_recovers_concrete_halves() {
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let agent =
+            builder.agent("a", ConstModel { value: 4.0 }, CountActuator::default(), schedule(100));
+        let mut report = builder.build().run_for(SimDuration::from_secs(2)).unwrap();
+        let taken = report.take(agent);
+        assert_eq!(taken.name, "a");
+        assert_eq!(taken.model.value, 4.0);
+        assert!(taken.actuator.actions > 0);
+        assert!(taken.stats.model.epochs_completed > 0);
+        // A second take reports the agent as gone.
+        assert!(matches!(report.try_take(agent), Err(ReportError::UnknownAgent(_))));
+    }
+
+    #[test]
+    fn try_take_leaves_report_intact_on_type_mismatch() {
+        // Two runtimes with different agent types at position 0: using the
+        // first runtime's handle on the second report is a type error.
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let typed =
+            builder.agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+        drop(builder);
+
+        struct OtherActuator;
+        impl crate::actuator::Actuator for OtherActuator {
+            type Pred = f64;
+            fn take_action(
+                &mut self,
+                _now: Timestamp,
+                _pred: Option<&crate::prediction::Prediction<f64>>,
+            ) {
+            }
+            fn assess_performance(
+                &mut self,
+                _now: Timestamp,
+            ) -> crate::actuator::ActuatorAssessment {
+                crate::actuator::ActuatorAssessment::Acceptable
+            }
+            fn mitigate(&mut self, _now: Timestamp) {}
+            fn clean_up(&mut self, _now: Timestamp) {}
+        }
+
+        let mut other = NodeRuntime::builder(NullEnvironment);
+        other.agent("b", ConstModel { value: 1.0 }, OtherActuator, schedule(100));
+        let mut report = other.build().run_for(SimDuration::from_secs(1)).unwrap();
+        assert!(matches!(report.try_agent(typed), Err(ReportError::WrongAgentType(_))));
+        assert!(matches!(report.try_take(typed), Err(ReportError::WrongAgentType(_))));
+        // The mismatch did not remove the agent.
+        assert_eq!(report.agents.len(), 1);
+    }
+
+    #[test]
+    fn blueprints_register_like_inline_agents() {
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let handle = builder.register(AgentBlueprint::new(
+            "packaged",
+            ConstModel { value: 3.0 },
+            CountActuator::default(),
+            schedule(100),
+        ));
+        let report = builder.build().run_for(SimDuration::from_secs(2)).unwrap();
+        assert_eq!(report.agent(handle).name(), "packaged");
+        assert_eq!(report.agent(handle).model().value, 3.0);
+    }
+
+    #[test]
+    fn builder_config_methods_reach_the_runtime() {
+        let builder = NodeRuntime::builder(NullEnvironment);
+        assert!(builder.max_environment_step(SimDuration::ZERO).is_err());
+
+        let mut builder = NodeRuntime::builder(NullEnvironment)
+            .max_environment_step(SimDuration::from_millis(500))
+            .unwrap()
+            .cleanup_on_finish(true);
+        let a =
+            builder.agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+        assert_eq!(builder.agent_count(), 1);
+        let report = builder.build().run_for(SimDuration::from_secs(2)).unwrap();
+        assert_eq!(report.agent(a).stats().actuator.cleanups, 1);
+    }
+}

@@ -3,11 +3,16 @@
 //! Three drivers are provided:
 //!
 //! * [`NodeRuntime`](node::NodeRuntime) — the multi-agent discrete-event
-//!   driver: a binary-heap event queue (agent wakes, interventions,
-//!   environment steps as first-class events) hosting *N* heterogeneous
-//!   agents, each erased behind the object-safe
-//!   [`AgentDriver`](node::AgentDriver) trait, on one shared [`Environment`].
-//!   This is what the paper's co-location scenario (§4.2, §6) runs on.
+//!   driver: a binary-heap event queue (agent wakes and interventions as
+//!   first-class events, environment-step boundaries merged into the tick
+//!   time) hosting *N* heterogeneous agents, each erased behind the
+//!   object-safe [`AgentDriver`](node::AgentDriver) trait, on one shared
+//!   [`Environment`]. This is what the paper's co-location scenario (§4.2,
+//!   §6) runs on. Scenarios are normally assembled through the typed
+//!   [`ScenarioBuilder`](builder::ScenarioBuilder) front door
+//!   ([`NodeRuntime::builder`](node::NodeRuntime::builder)), whose
+//!   [`AgentHandle`](builder::AgentHandle)s give downcast-free access to the
+//!   final report.
 //! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
 //!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
 //!   historical single-agent results exactly.
@@ -15,8 +20,14 @@
 //!   paper describes: the Model and Actuator run in separately scheduled OS
 //!   threads connected by a prediction queue, so the Actuator keeps taking
 //!   safe actions while the Model is throttled.
+//!
+//! Custom [`AgentDriver`](node::AgentDriver)s plug into the same queue; the
+//! first one shipped is [`ReplayDriver`](replay::ReplayDriver), which replays
+//! a recorded action trace.
 
+pub mod builder;
 pub mod node;
+pub mod replay;
 pub mod sim;
 #[cfg(test)]
 pub(crate) mod testutil;

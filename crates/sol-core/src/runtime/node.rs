@@ -40,7 +40,7 @@ use std::any::Any;
 use std::collections::BinaryHeap;
 
 use crate::actuator::Actuator;
-use crate::error::RuntimeError;
+use crate::error::{ReportError, RuntimeError};
 use crate::loops::{ActuatorLoop, ModelLoop};
 use crate::model::Model;
 use crate::runtime::Environment;
@@ -240,16 +240,17 @@ enum Intervention<E> {
 }
 
 /// What happens at a scheduled point of virtual time.
+///
+/// The `max_environment_step` boundary is *not* an event: it moves on every
+/// tick, so keeping it in the heap would mean one stale entry per tick. It
+/// lives in [`NodeRuntime::env_step_at`] and is merged into the tick time
+/// directly.
 enum EventKind<E> {
     /// An agent's next wake. Valid only while the agent slot's generation
     /// matches `gen`; stale wakes are discarded when popped.
     AgentWake { id: AgentId, gen: u64 },
     /// A scheduled disturbance.
     Intervention(Intervention<E>),
-    /// The `max_environment_step` boundary: advance the environment even when
-    /// no agent event is due. Valid only while it matches the runtime's
-    /// current boundary.
-    EnvStep,
 }
 
 /// A heap entry: events pop earliest-time first, ties broken by insertion
@@ -339,30 +340,40 @@ pub struct NodeReport<E: Environment + 'static> {
 }
 
 impl<E: Environment + 'static> NodeReport<E> {
-    /// The report for one agent. Looked up by id, not position, so it stays
-    /// correct after [`take_agent`](Self::take_agent) removals.
+    /// The type-erased report for one agent. Looked up by id, not position,
+    /// so it stays correct after [`take_agent`](Self::take_agent) removals.
     ///
-    /// # Panics
+    /// This is the untyped escape hatch; prefer the typed
+    /// [`agent`](Self::agent) accessor with the
+    /// [`AgentHandle`](crate::runtime::builder::AgentHandle) the
+    /// [`ScenarioBuilder`](crate::runtime::builder::ScenarioBuilder) returned.
     ///
-    /// Panics if `id` was not produced by the runtime that built this report
-    /// or its report was already taken.
-    pub fn agent(&self, id: AgentId) -> &AgentReport<E> {
-        self.agents.iter().find(|a| a.id == id).unwrap_or_else(|| panic!("{id} not in report"))
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownAgent`] if `id` was not produced by the
+    /// runtime that built this report or its report was already taken.
+    pub fn agent_report(&self, id: impl Into<AgentId>) -> Result<&AgentReport<E>, ReportError> {
+        let id = id.into();
+        self.agents
+            .iter()
+            .find(|a| a.id == id)
+            .ok_or_else(|| ReportError::UnknownAgent(id.to_string()))
     }
 
-    /// Removes and returns the report for one agent.
+    /// Removes and returns the type-erased report for one agent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` was not produced by the runtime that built this report
-    /// or its report was already taken.
-    pub fn take_agent(&mut self, id: AgentId) -> AgentReport<E> {
+    /// Returns [`ReportError::UnknownAgent`] if `id` was not produced by the
+    /// runtime that built this report or its report was already taken.
+    pub fn take_agent(&mut self, id: impl Into<AgentId>) -> Result<AgentReport<E>, ReportError> {
+        let id = id.into();
         let pos = self
             .agents
             .iter()
             .position(|a| a.id == id)
-            .unwrap_or_else(|| panic!("{id} not in report"));
-        self.agents.remove(pos)
+            .ok_or_else(|| ReportError::UnknownAgent(id.to_string()))?;
+        Ok(self.agents.remove(pos))
     }
 }
 
@@ -408,12 +419,12 @@ impl<E: Environment + 'static> NodeReport<E> {
 ///     .data_collect_interval(SimDuration::from_millis(100))
 ///     .max_epoch_time(SimDuration::from_secs(1))
 ///     .build()?;
-/// let mut runtime = NodeRuntime::new(NullEnvironment);
-/// let first = runtime.register_agent("first", M, A::default(), schedule.clone());
-/// let second = runtime.register_agent("second", M, A::default(), schedule);
-/// let report = runtime.run_for(SimDuration::from_secs(5))?;
-/// assert!(report.agent(first).stats.model.epochs_completed > 0);
-/// assert_eq!(report.agent(second).name, "second");
+/// let mut builder = NodeRuntime::builder(NullEnvironment);
+/// let first = builder.agent("first", M, A::default(), schedule.clone());
+/// let second = builder.agent("second", M, A::default(), schedule);
+/// let report = builder.build().run_for(SimDuration::from_secs(5))?;
+/// assert!(report.agent(first).stats().model.epochs_completed > 0);
+/// assert_eq!(report.agent(second).name(), "second");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct NodeRuntime<E: Environment + 'static> {
@@ -428,8 +439,10 @@ pub struct NodeRuntime<E: Environment + 'static> {
     /// Whether `max_env_step` was set explicitly; an explicit value is never
     /// shrunk by later agent registrations.
     env_step_overridden: bool,
-    /// Time of the currently valid environment-step boundary event.
-    env_step_at: Option<Timestamp>,
+    /// The next environment-step boundary. Kept out of the event heap: the
+    /// boundary moves on every tick, and re-pushing it would leave one stale
+    /// heap entry per tick on the hot path.
+    env_step_at: Timestamp,
     cleanup_on_finish: bool,
 }
 
@@ -445,9 +458,16 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             next_seq: 0,
             max_env_step: MAX_DEFAULT_ENV_STEP,
             env_step_overridden: false,
-            env_step_at: None,
+            env_step_at: Timestamp::MAX,
             cleanup_on_finish: false,
         }
+    }
+
+    /// Starts a [`ScenarioBuilder`](crate::runtime::builder::ScenarioBuilder)
+    /// assembling agents on `environment`: the typed, composable front door to
+    /// this runtime. See the [`builder`](crate::runtime::builder) module docs.
+    pub fn builder(environment: E) -> crate::runtime::builder::ScenarioBuilder<E> {
+        crate::runtime::builder::ScenarioBuilder::new(NodeRuntime::new(environment))
     }
 
     /// Registers a `Model`/`Actuator` pair under `name`, driven by `schedule`.
@@ -503,8 +523,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn agent_name(&self, id: AgentId) -> &str {
-        &self.agents[id.0].name
+    pub fn agent_name(&self, id: impl Into<AgentId>) -> &str {
+        &self.agents[id.into().0].name
     }
 
     /// Current runtime counters for one agent (see [`agent_name`][Self::agent_name]
@@ -513,8 +533,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn agent_stats(&self, id: AgentId) -> AgentStats {
-        self.agents[id.0].driver.stats()
+    pub fn agent_stats(&self, id: impl Into<AgentId>) -> AgentStats {
+        self.agents[id.into().0].driver.stats()
     }
 
     /// Read access to an agent's driver (downcast with
@@ -523,8 +543,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn driver(&self, id: AgentId) -> &dyn AgentDriver<E> {
-        &*self.agents[id.0].driver
+    pub fn driver(&self, id: impl Into<AgentId>) -> &dyn AgentDriver<E> {
+        &*self.agents[id.into().0].driver
     }
 
     /// Mutable access to an agent's driver.
@@ -532,8 +552,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn driver_mut(&mut self, id: AgentId) -> &mut dyn AgentDriver<E> {
-        &mut *self.agents[id.0].driver
+    pub fn driver_mut(&mut self, id: impl Into<AgentId>) -> &mut dyn AgentDriver<E> {
+        &mut *self.agents[id.into().0].driver
     }
 
     /// Requests that every agent's clean-up routine run when the simulation
@@ -567,7 +587,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn delay_model_at(&mut self, id: AgentId, at: Timestamp, duration: SimDuration) {
+    pub fn delay_model_at(&mut self, id: impl Into<AgentId>, at: Timestamp, duration: SimDuration) {
+        let id = id.into();
         assert!(id.0 < self.agents.len(), "{id} is not registered");
         self.push_event(at, EventKind::Intervention(Intervention::DelayModel { id, duration }));
     }
@@ -578,7 +599,13 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// # Panics
     ///
     /// Panics if `id` is out of range for this runtime's agents.
-    pub fn delay_actuator_at(&mut self, id: AgentId, at: Timestamp, duration: SimDuration) {
+    pub fn delay_actuator_at(
+        &mut self,
+        id: impl Into<AgentId>,
+        at: Timestamp,
+        duration: SimDuration,
+    ) {
+        let id = id.into();
         assert!(id.0 < self.agents.len(), "{id} is not registered");
         self.push_event(at, EventKind::Intervention(Intervention::DelayActuator { id, duration }));
     }
@@ -615,10 +642,9 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     }
 
     /// Whether a popped/peeked event still reflects current state.
-    fn event_valid(agents: &[AgentSlot<E>], env_step_at: Option<Timestamp>, ev: &Event<E>) -> bool {
+    fn event_valid(agents: &[AgentSlot<E>], ev: &Event<E>) -> bool {
         match ev.kind {
             EventKind::AgentWake { id, gen } => agents[id.0].gen == gen,
-            EventKind::EnvStep => Some(ev.at) == env_step_at,
             EventKind::Intervention(_) => true,
         }
     }
@@ -652,13 +678,12 @@ impl<E: Environment + 'static> NodeRuntime<E> {
         for idx in 0..self.agents.len() {
             self.schedule_wake(idx);
         }
-        let boundary = self.clock.now() + self.max_env_step;
-        self.env_step_at = Some(boundary);
-        self.push_event(boundary, EventKind::EnvStep);
+        self.env_step_at = self.clock.now() + self.max_env_step;
 
         // Agents touched by this tick's events (wakes popped, delays
         // applied); only they are step-checked and rescheduled, so a tick
-        // costs O(events at that time), not O(agents).
+        // costs O(events at that time), not O(agents). The buffer is reused
+        // across every tick of the run.
         let mut touched: Vec<usize> = Vec::with_capacity(self.agents.len());
 
         loop {
@@ -667,14 +692,14 @@ impl<E: Environment + 'static> NodeRuntime<E> {
                 break;
             }
 
-            // Earliest valid event; stale wakes and superseded step
-            // boundaries are discarded on the way.
+            // Earliest valid event (stale wakes are discarded on the way),
+            // capped by the environment-step boundary.
             let next = loop {
                 match self.events.peek() {
-                    None => break end,
+                    None => break end.min(self.env_step_at),
                     Some(ev) => {
-                        if Self::event_valid(&self.agents, self.env_step_at, ev) {
-                            break ev.at;
+                        if Self::event_valid(&self.agents, ev) {
+                            break ev.at.min(self.env_step_at);
                         }
                         self.events.pop();
                     }
@@ -686,10 +711,11 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             self.clock.set(next);
             self.environment.advance_to(next);
 
-            // Consume everything due at this tick. Interventions apply in
-            // schedule order, before any agent steps. A delay intervention
-            // moves its target's wake, so the target needs rescheduling even
-            // if it was not due.
+            // Batch-pop the whole run of events due at this tick (same
+            // timestamp, plus anything the clamp to `end` made due).
+            // Interventions apply in schedule order, before any agent steps.
+            // A delay intervention moves its target's wake, so the target
+            // needs rescheduling even if it was not due.
             while self.events.peek().map(|ev| ev.at <= next).unwrap_or(false) {
                 let ev = self.events.pop().expect("peeked");
                 match ev.kind {
@@ -700,7 +726,6 @@ impl<E: Environment + 'static> NodeRuntime<E> {
                             touched.push(id.0);
                         }
                     }
-                    EventKind::EnvStep => {}
                     EventKind::Intervention(iv) => match iv {
                         Intervention::DelayModel { id, duration } => {
                             self.agents[id.0].driver.delay_model(next + duration);
@@ -732,11 +757,9 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             }
             touched.clear();
 
-            let boundary = next + self.max_env_step;
-            if self.env_step_at != Some(boundary) {
-                self.env_step_at = Some(boundary);
-                self.push_event(boundary, EventKind::EnvStep);
-            }
+            // The environment advanced to `next`, so the boundary moves with
+            // it — a plain store, no heap traffic.
+            self.env_step_at = next + self.max_env_step;
         }
 
         let ended_at = self.clock.now();
@@ -796,9 +819,9 @@ mod tests {
         let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
         // 10 s / (5 samples * 100 ms) = 20 epochs for the fast agent, half
         // the rate for the slow one.
-        assert_eq!(report.agent(fast).stats.model.epochs_completed, 20);
-        assert_eq!(report.agent(slow).stats.model.epochs_completed, 10);
-        assert_eq!(report.agent(fast).name, "fast");
+        assert_eq!(report.agent_report(fast).unwrap().stats.model.epochs_completed, 20);
+        assert_eq!(report.agent_report(slow).unwrap().stats.model.epochs_completed, 10);
+        assert_eq!(report.agent_report(fast).unwrap().name, "fast");
         assert_eq!(report.environment.last, Timestamp::from_secs(10));
         assert_eq!(report.ended_at, Timestamp::from_secs(10));
     }
@@ -816,10 +839,10 @@ mod tests {
             });
         rt.delay_model_at(delayed, Timestamp::from_secs(2), SimDuration::from_secs(5));
         let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
-        assert!(report.agent(delayed).stats.model.epochs_completed < 20);
-        assert_eq!(report.agent(healthy).stats.model.epochs_completed, 20);
-        assert!(report.agent(delayed).stats.actuator.actuation_timeouts >= 1);
-        assert_eq!(report.agent(healthy).stats.actuator.actuation_timeouts, 0);
+        assert!(report.agent_report(delayed).unwrap().stats.model.epochs_completed < 20);
+        assert_eq!(report.agent_report(healthy).unwrap().stats.model.epochs_completed, 20);
+        assert!(report.agent_report(delayed).unwrap().stats.actuator.actuation_timeouts >= 1);
+        assert_eq!(report.agent_report(healthy).unwrap().stats.actuator.actuation_timeouts, 0);
     }
 
     #[test]
@@ -835,8 +858,10 @@ mod tests {
             });
         rt.delay_actuator_at(delayed, Timestamp::from_secs(1), SimDuration::from_secs(4));
         let report = rt.run_for(SimDuration::from_secs(10)).unwrap();
-        let delayed_actions = report.agent(delayed).inner::<LoopAgent<ConstModel, CountActuator>>();
-        let healthy_actions = report.agent(healthy).inner::<LoopAgent<ConstModel, CountActuator>>();
+        let delayed_actions =
+            report.agent_report(delayed).unwrap().inner::<LoopAgent<ConstModel, CountActuator>>();
+        let healthy_actions =
+            report.agent_report(healthy).unwrap().inner::<LoopAgent<ConstModel, CountActuator>>();
         assert!(
             delayed_actions.unwrap().actuator().actions
                 < healthy_actions.unwrap().actuator().actions
@@ -866,8 +891,12 @@ mod tests {
         });
         let report = rt.cleanup_on_finish(true).run_for(SimDuration::from_secs(2)).unwrap();
         for id in [a, b] {
-            assert_eq!(report.agent(id).stats.actuator.cleanups, 1);
-            let agent = report.agent(id).inner::<LoopAgent<ConstModel, CountActuator>>().unwrap();
+            assert_eq!(report.agent_report(id).unwrap().stats.actuator.cleanups, 1);
+            let agent = report
+                .agent_report(id)
+                .unwrap()
+                .inner::<LoopAgent<ConstModel, CountActuator>>()
+                .unwrap();
             assert!(agent.actuator().cleaned);
         }
     }
@@ -881,6 +910,7 @@ mod tests {
         let mut report = rt.run_for(SimDuration::from_secs(2)).unwrap();
         let agent = report
             .take_agent(id)
+            .unwrap()
             .into_inner::<LoopAgent<ConstModel, CountActuator>>()
             .expect("registered type");
         let (model, actuator, stats) = agent.into_parts();
@@ -899,11 +929,11 @@ mod tests {
             schedule(100)
         });
         let mut report = rt.run_for(SimDuration::from_secs(2)).unwrap();
-        let taken = report.take_agent(a);
+        let taken = report.take_agent(a).unwrap();
         assert_eq!(taken.name, "a");
         // Id-based lookup must survive the removal shifting positions.
-        assert_eq!(report.agent(b).name, "b");
-        assert_eq!(report.take_agent(b).name, "b");
+        assert_eq!(report.agent_report(b).unwrap().name, "b");
+        assert_eq!(report.take_agent(b).unwrap().name, "b");
     }
 
     #[test]
@@ -931,8 +961,8 @@ mod tests {
             });
             let report = rt.run_for(SimDuration::from_secs(7)).unwrap();
             (
-                report.agent(a).stats.clone(),
-                report.agent(b).stats.clone(),
+                report.agent_report(a).unwrap().stats.clone(),
+                report.agent_report(b).unwrap().stats.clone(),
                 report.environment.advances,
             )
         };

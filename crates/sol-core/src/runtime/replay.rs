@@ -1,0 +1,275 @@
+//! `ReplayDriver`: a custom [`AgentDriver`] that replays a recorded action
+//! trace against the environment.
+//!
+//! Replay agents serve two purposes (ROADMAP "Custom `AgentDriver`s"):
+//!
+//! * **Regression pinning** — record the actuation sequence of a learning
+//!   agent (e.g. SmartOverclock's frequency decisions) and replay it later to
+//!   verify a refactored substrate or runtime reproduces the same outcome
+//!   without re-running the learner.
+//! * **Load generation** — scripted disturbances (bursts, phase changes)
+//!   registered beside learning agents through
+//!   [`ScenarioBuilder::driver`](crate::runtime::builder::ScenarioBuilder::driver),
+//!   stressing safeguards beyond the paper's failure modes.
+//!
+//! A driver holds a list of [`ReplayEntry`] actions sorted by time plus an
+//! apply function mapping each action onto the environment. It wakes exactly
+//! at each entry's timestamp; once the trace is exhausted it sleeps forever
+//! ([`Timestamp::MAX`]).
+
+use std::any::Any;
+
+use crate::runtime::node::AgentDriver;
+use crate::runtime::Environment;
+use crate::stats::AgentStats;
+use crate::time::Timestamp;
+
+/// One recorded action: apply `action` at virtual time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayEntry<T> {
+    /// When the action was recorded.
+    pub at: Timestamp,
+    /// The recorded action payload.
+    pub action: T,
+}
+
+impl<T> ReplayEntry<T> {
+    /// Creates an entry.
+    pub fn new(at: Timestamp, action: T) -> Self {
+        ReplayEntry { at, action }
+    }
+}
+
+/// Applies one recorded action to the environment. `now` is the virtual time
+/// of the replaying tick (equal to the entry's timestamp unless the replay
+/// was delayed by an intervention).
+type ApplyFn<E, T> = Box<dyn FnMut(&mut E, Timestamp, &T) + Send>;
+
+/// An [`AgentDriver`] replaying a recorded action trace through the runtime's
+/// event queue. See the [module docs](self).
+pub struct ReplayDriver<E, T> {
+    trace: Vec<ReplayEntry<T>>,
+    apply: ApplyFn<E, T>,
+    cursor: usize,
+    /// Interventions can push the whole replay back; actions then apply late,
+    /// at the delayed tick, with their original payloads.
+    delayed_until: Option<Timestamp>,
+    actions_replayed: u64,
+    cleanups: u64,
+}
+
+impl<E, T> ReplayDriver<E, T> {
+    /// Creates a driver replaying `trace` via `apply`. Entries are sorted by
+    /// timestamp (stable, so same-time actions keep their recorded order).
+    pub fn new(
+        mut trace: Vec<ReplayEntry<T>>,
+        apply: impl FnMut(&mut E, Timestamp, &T) + Send + 'static,
+    ) -> Self {
+        trace.sort_by_key(|e| e.at);
+        ReplayDriver {
+            trace,
+            apply: Box::new(apply),
+            cursor: 0,
+            delayed_until: None,
+            actions_replayed: 0,
+            cleanups: 0,
+        }
+    }
+
+    /// Number of actions replayed so far.
+    pub fn actions_replayed(&self) -> u64 {
+        self.actions_replayed
+    }
+
+    /// Number of actions still pending.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.cursor
+    }
+
+    /// Whether every recorded action has been replayed.
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl<E, T> std::fmt::Debug for ReplayDriver<E, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayDriver")
+            .field("trace_len", &self.trace.len())
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E, T> AgentDriver<E> for ReplayDriver<E, T>
+where
+    E: Environment + 'static,
+    T: 'static,
+{
+    fn next_wake(&self) -> Timestamp {
+        let due = match self.trace.get(self.cursor) {
+            Some(entry) => entry.at,
+            None => return Timestamp::MAX,
+        };
+        match self.delayed_until {
+            Some(until) => due.max(until),
+            None => due,
+        }
+    }
+
+    fn step(&mut self, now: Timestamp, env: &mut E) {
+        if let Some(until) = self.delayed_until {
+            if now < until {
+                return;
+            }
+            self.delayed_until = None;
+        }
+        while self.trace.get(self.cursor).map(|e| e.at <= now).unwrap_or(false) {
+            let entry = &self.trace[self.cursor];
+            (self.apply)(env, now, &entry.action);
+            self.cursor += 1;
+            self.actions_replayed += 1;
+        }
+    }
+
+    /// A replay has no Model loop; model delays postpone the whole replay,
+    /// like actuator delays.
+    fn delay_model(&mut self, until: Timestamp) {
+        self.delay_actuator(until);
+    }
+
+    fn delay_actuator(&mut self, until: Timestamp) {
+        self.delayed_until = Some(match self.delayed_until {
+            Some(cur) if cur > until => cur,
+            _ => until,
+        });
+    }
+
+    /// Replayed actions are counted as
+    /// [`actions_with_model_prediction`](crate::stats::ActuatorLoopStats::actions_with_model_prediction):
+    /// each one re-applies a decision a model-driven run produced.
+    fn stats(&self) -> AgentStats {
+        let mut stats = AgentStats::default();
+        stats.actuator.actions_with_model_prediction = self.actions_replayed;
+        stats.actuator.cleanups = self.cleanups;
+        stats
+    }
+
+    fn clean_up(&mut self, _now: Timestamp) {
+        self.cleanups += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::node::NodeRuntime;
+    use crate::runtime::testutil::StepEnv;
+    use crate::time::SimDuration;
+
+    fn trace() -> Vec<ReplayEntry<u64>> {
+        vec![
+            ReplayEntry::new(Timestamp::from_secs(1), 10),
+            ReplayEntry::new(Timestamp::from_secs(3), 20),
+            ReplayEntry::new(Timestamp::from_secs(3), 30),
+            ReplayEntry::new(Timestamp::from_secs(6), 40),
+        ]
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingEnv {
+        inner: StepEnv,
+        seen: std::sync::Arc<std::sync::Mutex<Vec<(Timestamp, u64)>>>,
+    }
+
+    impl Environment for RecordingEnv {
+        fn advance_to(&mut self, now: Timestamp) {
+            self.inner.advance_to(now);
+        }
+    }
+
+    #[test]
+    fn replays_every_action_at_its_recorded_time() {
+        let env = RecordingEnv::default();
+        let seen = env.seen.clone();
+        let mut builder = NodeRuntime::builder(env);
+        let driver = builder.driver(
+            "replay",
+            ReplayDriver::new(trace(), move |env: &mut RecordingEnv, now, action| {
+                env.seen.lock().unwrap().push((now, *action));
+            }),
+        );
+        let report = builder.build().run_for(SimDuration::from_secs(10)).unwrap();
+        let replayed = seen.lock().unwrap().clone();
+        assert_eq!(
+            replayed,
+            vec![
+                (Timestamp::from_secs(1), 10),
+                (Timestamp::from_secs(3), 20),
+                (Timestamp::from_secs(3), 30),
+                (Timestamp::from_secs(6), 40),
+            ]
+        );
+        // Typed driver access through the handle.
+        let driver = report.driver(driver);
+        assert!(driver.finished());
+        assert_eq!(driver.actions_replayed(), 4);
+        assert_eq!(report.agent_report(driver_id_of(&report)).unwrap().stats.actions_taken(), 4);
+    }
+
+    fn driver_id_of<E: Environment + 'static>(
+        report: &crate::runtime::node::NodeReport<E>,
+    ) -> crate::runtime::node::AgentId {
+        report.agents[0].id
+    }
+
+    #[test]
+    fn unsorted_traces_are_sorted_on_construction() {
+        let mut entries = trace();
+        entries.reverse();
+        let driver: ReplayDriver<StepEnv, u64> = ReplayDriver::new(entries, |_, _, _| {});
+        assert_eq!(driver.next_wake(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn delay_postpones_replay_without_dropping_actions() {
+        let env = RecordingEnv::default();
+        let seen = env.seen.clone();
+        let mut builder = NodeRuntime::builder(env);
+        let driver = builder.driver(
+            "replay",
+            ReplayDriver::new(trace(), move |env: &mut RecordingEnv, now, action| {
+                env.seen.lock().unwrap().push((now, *action));
+            }),
+        );
+        let mut runtime = builder.build();
+        runtime.delay_actuator_at(driver, Timestamp::from_millis(500), SimDuration::from_secs(4));
+        let report = runtime.run_for(SimDuration::from_secs(10)).unwrap();
+        let replayed = seen.lock().unwrap().clone();
+        // The first three actions apply late (at the delay's expiry), the
+        // fourth on time; none are lost.
+        assert_eq!(replayed.len(), 4);
+        assert_eq!(replayed[0].0, Timestamp::from_millis(4_500));
+        assert_eq!(replayed[3], (Timestamp::from_secs(6), 40));
+        assert!(report.driver(driver).finished());
+    }
+
+    #[test]
+    fn exhausted_replay_sleeps_forever() {
+        let driver: ReplayDriver<StepEnv, u64> = ReplayDriver::new(Vec::new(), |_, _, _| {});
+        assert_eq!(driver.next_wake(), Timestamp::MAX);
+        assert!(driver.finished());
+    }
+}

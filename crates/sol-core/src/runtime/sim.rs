@@ -153,7 +153,7 @@ where
         let id = self.id;
         let mut report = self.node.run_for(horizon)?;
         let ended_at = report.ended_at;
-        let agent = report.take_agent(id);
+        let agent = report.take_agent(id).expect("single agent is present");
         let (model, actuator, stats) = agent
             .into_inner::<LoopAgent<M, A>>()
             .expect("single agent is a LoopAgent")

@@ -32,6 +32,10 @@ impl Timestamp {
     /// The origin of simulated time.
     pub const ZERO: Timestamp = Timestamp(0);
 
+    /// The far end of simulated time, usable as a "never" sentinel (e.g. the
+    /// wake time of an agent that has nothing left to do).
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
     /// Creates a timestamp from raw nanoseconds.
     pub const fn from_nanos(nanos: u64) -> Self {
         Timestamp(nanos)

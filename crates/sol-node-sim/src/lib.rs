@@ -14,8 +14,9 @@
 //! * [`memory_node`] — a two-tier memory system with per-batch access bits,
 //!   Zipf-skewed access generators, and local/remote access counters
 //!   (SmartMemory).
-//! * [`colocated`] — one physical node composing the CPU and harvesting
-//!   substrates for multi-agent co-location runs.
+//! * [`multi_node`] — one physical node composing any set of substrates
+//!   (CPU, harvest, memory, extras) with declared couplings for multi-agent
+//!   co-location runs.
 //! * [`workload`] — the CPU workload models from the paper's evaluation
 //!   (Synthetic, ObjectStore, DiskSpeed).
 //! * [`power`], [`counters`], [`metrics`], [`shared`] — supporting pieces.
@@ -26,19 +27,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod colocated;
 pub mod counters;
 pub mod cpu_node;
 pub mod harvest_node;
 pub mod memory_node;
 pub mod metrics;
+pub mod multi_node;
 pub mod power;
 pub mod shared;
 pub mod workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::colocated::ColocatedNode;
     pub use crate::counters::{CounterSample, CpuCounters};
     pub use crate::cpu_node::{CpuNode, CpuNodeConfig, CpuTracePoint};
     pub use crate::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig, UsageSample};
@@ -46,6 +46,7 @@ pub mod prelude {
         MemoryNode, MemoryNodeConfig, MemoryWorkloadKind, RemoteFractionSample, ScanResult, Tier,
     };
     pub use crate::metrics::{normalize, percent_change, TimeSeries};
+    pub use crate::multi_node::{Coupling, MultiNode, MultiNodeBuilder};
     pub use crate::power::{EnergyMeter, PowerModel, FREQUENCY_LEVELS_GHZ, NOMINAL_FREQUENCY_GHZ};
     pub use crate::shared::Shared;
     pub use crate::workload::{

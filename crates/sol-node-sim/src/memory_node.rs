@@ -172,6 +172,9 @@ pub struct MemoryNode {
     permutation: Vec<usize>,
     now: Timestamp,
     rng: rand::rngs::StdRng,
+    /// Multiplier on the workload's access rate, driven by co-location
+    /// couplings (faster cores issue more memory accesses per second).
+    bandwidth_factor: f64,
     access_bit_resets: u64,
     scans: u64,
     migrations: u64,
@@ -228,6 +231,7 @@ impl MemoryNode {
             permutation,
             now: Timestamp::ZERO,
             rng,
+            bandwidth_factor: 1.0,
             access_bit_resets: 0,
             scans: 0,
             migrations: 0,
@@ -442,6 +446,24 @@ impl MemoryNode {
         met as f64 / active.len() as f64
     }
 
+    /// Sets the multiplier applied to the workload's access rate. Co-location
+    /// couplings use this to model faster cores issuing more memory accesses
+    /// per second (see `sol-node-sim`'s `multi_node` module); `1.0` is the
+    /// uncoupled baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_bandwidth_factor(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bandwidth factor must be positive");
+        self.bandwidth_factor = factor;
+    }
+
+    /// The current access-rate multiplier.
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.bandwidth_factor
+    }
+
     /// Sets the scan failure probability (fault injection).
     ///
     /// # Panics
@@ -487,7 +509,7 @@ impl MemoryNode {
             }
         }
 
-        let rate = if active { self.config.accesses_per_sec } else { 0.0 };
+        let rate = if active { self.config.accesses_per_sec * self.bandwidth_factor } else { 0.0 };
         let total = rate * dt.as_secs_f64();
         let mut step_local = 0.0;
         let mut step_remote = 0.0;

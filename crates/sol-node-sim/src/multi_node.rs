@@ -1,0 +1,390 @@
+//! One physical node composing any set of substrates for co-located agents.
+//!
+//! The paper's headline scenario (§4.2, §6) is multiple learning agents
+//! sharing one server. [`MultiNode`] composes an arbitrary set of registered
+//! substrates — the CPU/DVFS node (SmartOverclock), the harvesting node
+//! (SmartHarvest), the two-tier memory node (SmartMemory), plus any extra
+//! [`Environment`] — into one environment that advances everything in
+//! lockstep under the runtime's virtual clock. A
+//! [`NodeRuntime`](sol_core::runtime::node::NodeRuntime) assembled through
+//! [`ScenarioBuilder`](sol_core::runtime::builder::ScenarioBuilder) can then
+//! drive any agent population against it.
+//!
+//! Substrates are physically coupled through declared [`Coupling`]s, applied
+//! before each advance:
+//!
+//! * [`Coupling::FrequencyToDemand`] — the overclocking agent sets the node's
+//!   core frequency, and faster cores complete the harvest-side primary VM's
+//!   work in fewer core-seconds, shrinking its core demand (and enlarging the
+//!   harvestable pool).
+//! * [`Coupling::FrequencyToMemoryBandwidth`] — faster cores issue more
+//!   memory accesses per second, scaling the memory substrate's access rate.
+//!
+//! Omit a coupling to simulate separate physical domains (e.g. per-VM
+//! frequency domains).
+//!
+//! # Examples
+//!
+//! All three paper substrates on one node, fully coupled:
+//!
+//! ```
+//! use sol_core::runtime::Environment;
+//! use sol_core::time::Timestamp;
+//! use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
+//! use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
+//! use sol_node_sim::memory_node::{MemoryNode, MemoryNodeConfig, MemoryWorkloadKind};
+//! use sol_node_sim::multi_node::{Coupling, MultiNode};
+//! use sol_node_sim::shared::Shared;
+//! use sol_node_sim::workload::OverclockWorkloadKind;
+//!
+//! let cpu = Shared::new(CpuNode::new(
+//!     OverclockWorkloadKind::ObjectStore.build(8),
+//!     CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+//! ));
+//! let harvest =
+//!     Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+//! let memory = Shared::new(MemoryNode::new(
+//!     MemoryWorkloadKind::ObjectStore,
+//!     MemoryNodeConfig::default(),
+//! ));
+//!
+//! let mut node = MultiNode::builder()
+//!     .cpu(cpu.clone())
+//!     .harvest(harvest.clone())
+//!     .memory(memory.clone())
+//!     .coupling(Coupling::FrequencyToDemand)
+//!     .coupling(Coupling::FrequencyToMemoryBandwidth)
+//!     .build()?;
+//!
+//! node.advance_to(Timestamp::from_secs(5));
+//! assert_eq!(cpu.lock().now(), Timestamp::from_secs(5));
+//! assert_eq!(harvest.lock().now(), Timestamp::from_secs(5));
+//! assert_eq!(memory.lock().now(), Timestamp::from_secs(5));
+//! # Ok::<(), sol_core::error::RuntimeError>(())
+//! ```
+
+use sol_core::error::RuntimeError;
+use sol_core::runtime::Environment;
+use sol_core::time::Timestamp;
+
+use crate::cpu_node::CpuNode;
+use crate::harvest_node::HarvestNode;
+use crate::memory_node::MemoryNode;
+use crate::shared::Shared;
+
+/// A declared physical interaction between two substrates of a [`MultiNode`],
+/// applied before every environment advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Coupling {
+    /// Core frequency → harvest-side primary VM demand: overclocked cores
+    /// finish the primary's work in fewer core-seconds. Requires the CPU and
+    /// harvest substrates.
+    FrequencyToDemand,
+    /// Core frequency → memory access rate: overclocked cores issue more
+    /// memory accesses per second. Requires the CPU and memory substrates.
+    FrequencyToMemoryBandwidth,
+}
+
+impl Coupling {
+    fn name(self) -> &'static str {
+        match self {
+            Coupling::FrequencyToDemand => "frequency→demand",
+            Coupling::FrequencyToMemoryBandwidth => "frequency→memory-bandwidth",
+        }
+    }
+}
+
+/// Assembles a [`MultiNode`] from substrates and couplings. Created with
+/// [`MultiNode::builder`].
+#[derive(Default)]
+pub struct MultiNodeBuilder {
+    cpu: Option<Shared<CpuNode>>,
+    harvest: Option<Shared<HarvestNode>>,
+    memory: Option<Shared<MemoryNode>>,
+    extras: Vec<Box<dyn Environment + Send>>,
+    couplings: Vec<Coupling>,
+}
+
+impl MultiNodeBuilder {
+    /// Registers the CPU/DVFS substrate (the SmartOverclock surface).
+    pub fn cpu(mut self, node: Shared<CpuNode>) -> Self {
+        self.cpu = Some(node);
+        self
+    }
+
+    /// Registers the core-harvesting substrate (the SmartHarvest surface).
+    pub fn harvest(mut self, node: Shared<HarvestNode>) -> Self {
+        self.harvest = Some(node);
+        self
+    }
+
+    /// Registers the two-tier memory substrate (the SmartMemory surface).
+    pub fn memory(mut self, node: Shared<MemoryNode>) -> Self {
+        self.memory = Some(node);
+        self
+    }
+
+    /// Registers an additional substrate advanced in lockstep after the typed
+    /// ones ([`Shared`] handles work directly). Extras take part in the
+    /// shared clock but in no declared coupling.
+    pub fn substrate(mut self, env: impl Environment + Send + 'static) -> Self {
+        self.extras.push(Box::new(env));
+        self
+    }
+
+    /// Declares a physical coupling between registered substrates.
+    /// Duplicates are ignored.
+    pub fn coupling(mut self, coupling: Coupling) -> Self {
+        if !self.couplings.contains(&coupling) {
+            self.couplings.push(coupling);
+        }
+        self
+    }
+
+    /// Validates that every declared coupling has its substrates and returns
+    /// the composed node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if a coupling references a
+    /// substrate that was not registered.
+    pub fn build(self) -> Result<MultiNode, RuntimeError> {
+        for &coupling in &self.couplings {
+            let satisfied = match coupling {
+                Coupling::FrequencyToDemand => self.cpu.is_some() && self.harvest.is_some(),
+                Coupling::FrequencyToMemoryBandwidth => self.cpu.is_some() && self.memory.is_some(),
+            };
+            if !satisfied {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "coupling {} requires substrates that are not registered",
+                    coupling.name()
+                )));
+            }
+        }
+        Ok(MultiNode {
+            cpu: self.cpu,
+            harvest: self.harvest,
+            memory: self.memory,
+            extras: self.extras,
+            couplings: self.couplings,
+        })
+    }
+}
+
+/// One server hosting any set of co-located substrates, advanced in lockstep
+/// with declared couplings. See the [module docs](self).
+pub struct MultiNode {
+    cpu: Option<Shared<CpuNode>>,
+    harvest: Option<Shared<HarvestNode>>,
+    memory: Option<Shared<MemoryNode>>,
+    extras: Vec<Box<dyn Environment + Send>>,
+    couplings: Vec<Coupling>,
+}
+
+impl std::fmt::Debug for MultiNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiNode")
+            .field("cpu", &self.cpu.is_some())
+            .field("harvest", &self.harvest.is_some())
+            .field("memory", &self.memory.is_some())
+            .field("extras", &self.extras.len())
+            .field("couplings", &self.couplings)
+            .finish()
+    }
+}
+
+impl MultiNode {
+    /// Starts assembling a node.
+    pub fn builder() -> MultiNodeBuilder {
+        MultiNodeBuilder::default()
+    }
+
+    /// Handle to the CPU/DVFS substrate, if registered.
+    pub fn cpu(&self) -> Option<&Shared<CpuNode>> {
+        self.cpu.as_ref()
+    }
+
+    /// Handle to the harvesting substrate, if registered.
+    pub fn harvest(&self) -> Option<&Shared<HarvestNode>> {
+        self.harvest.as_ref()
+    }
+
+    /// Handle to the memory substrate, if registered.
+    pub fn memory(&self) -> Option<&Shared<MemoryNode>> {
+        self.memory.as_ref()
+    }
+
+    /// The declared couplings.
+    pub fn couplings(&self) -> &[Coupling] {
+        &self.couplings
+    }
+
+    /// Applies every declared coupling once (reading the current frequency),
+    /// without advancing time.
+    fn apply_couplings(&mut self) {
+        if self.couplings.is_empty() {
+            return;
+        }
+        let factor = match &self.cpu {
+            Some(cpu) => cpu.with(|n| n.frequency_ghz() / n.nominal_frequency_ghz()),
+            None => return,
+        };
+        for &coupling in &self.couplings {
+            match coupling {
+                Coupling::FrequencyToDemand => {
+                    if let Some(harvest) = &self.harvest {
+                        harvest.with(|h| h.set_core_speed_factor(factor));
+                    }
+                }
+                Coupling::FrequencyToMemoryBandwidth => {
+                    if let Some(memory) = &self.memory {
+                        memory.with(|m| m.set_bandwidth_factor(factor));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Environment for MultiNode {
+    fn advance_to(&mut self, now: Timestamp) {
+        self.apply_couplings();
+        if let Some(cpu) = &self.cpu {
+            cpu.with(|n| n.advance_to(now));
+        }
+        if let Some(harvest) = &self.harvest {
+            harvest.with(|h| h.advance_to(now));
+        }
+        if let Some(memory) = &self.memory {
+            memory.with(|m| m.advance_to(now));
+        }
+        for extra in &mut self.extras {
+            extra.advance_to(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_node::CpuNodeConfig;
+    use crate::harvest_node::{BurstyService, HarvestNodeConfig};
+    use crate::memory_node::{MemoryNodeConfig, MemoryWorkloadKind};
+    use crate::workload::OverclockWorkloadKind;
+
+    fn cpu() -> Shared<CpuNode> {
+        Shared::new(CpuNode::new(
+            OverclockWorkloadKind::ObjectStore.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        ))
+    }
+
+    fn harvest() -> Shared<HarvestNode> {
+        Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()))
+    }
+
+    fn memory() -> Shared<MemoryNode> {
+        Shared::new(MemoryNode::new(
+            MemoryWorkloadKind::ObjectStore,
+            MemoryNodeConfig { batches: 64, ..MemoryNodeConfig::default() },
+        ))
+    }
+
+    #[test]
+    fn advances_all_substrates_in_lockstep() {
+        let (c, h, m) = (cpu(), harvest(), memory());
+        let mut node = MultiNode::builder()
+            .cpu(c.clone())
+            .harvest(h.clone())
+            .memory(m.clone())
+            .build()
+            .unwrap();
+        node.advance_to(Timestamp::from_secs(3));
+        assert_eq!(c.lock().now(), Timestamp::from_secs(3));
+        assert_eq!(h.lock().now(), Timestamp::from_secs(3));
+        assert_eq!(m.lock().now(), Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn frequency_coupling_propagates_to_primary_demand() {
+        let (c, h) = (cpu(), harvest());
+        let mut node = MultiNode::builder()
+            .cpu(c.clone())
+            .harvest(h.clone())
+            .coupling(Coupling::FrequencyToDemand)
+            .build()
+            .unwrap();
+        node.advance_to(Timestamp::from_secs(1));
+        assert_eq!(h.lock().core_speed_factor(), 1.0);
+        c.lock().set_frequency_ghz(2.3);
+        node.advance_to(Timestamp::from_secs(2));
+        let factor = h.lock().core_speed_factor();
+        assert!((factor - 2.3 / 1.5).abs() < 1e-9, "factor {factor}");
+    }
+
+    #[test]
+    fn frequency_coupling_propagates_to_memory_bandwidth() {
+        let (c, m) = (cpu(), memory());
+        let mut node = MultiNode::builder()
+            .cpu(c.clone())
+            .memory(m.clone())
+            .coupling(Coupling::FrequencyToMemoryBandwidth)
+            .build()
+            .unwrap();
+        node.advance_to(Timestamp::from_secs(1));
+        assert_eq!(m.lock().bandwidth_factor(), 1.0);
+        let before = m.with(|n| n.local_accesses() + n.remote_accesses());
+        c.lock().set_frequency_ghz(2.3);
+        node.advance_to(Timestamp::from_secs(2));
+        assert!((m.lock().bandwidth_factor() - 2.3 / 1.5).abs() < 1e-9);
+        // The faster clock produced proportionally more accesses in the
+        // second second than the first.
+        let after = m.with(|n| n.local_accesses() + n.remote_accesses());
+        assert!(after - before > before * 1.2);
+    }
+
+    #[test]
+    fn undeclared_couplings_leave_substrates_independent() {
+        let (c, h, m) = (cpu(), harvest(), memory());
+        let mut node = MultiNode::builder()
+            .cpu(c.clone())
+            .harvest(h.clone())
+            .memory(m.clone())
+            .build()
+            .unwrap();
+        c.lock().set_frequency_ghz(2.3);
+        node.advance_to(Timestamp::from_secs(1));
+        assert_eq!(h.lock().core_speed_factor(), 1.0);
+        assert_eq!(m.lock().bandwidth_factor(), 1.0);
+    }
+
+    #[test]
+    fn couplings_without_substrates_are_rejected() {
+        let err =
+            MultiNode::builder().harvest(harvest()).coupling(Coupling::FrequencyToDemand).build();
+        assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+        let err =
+            MultiNode::builder().cpu(cpu()).coupling(Coupling::FrequencyToMemoryBandwidth).build();
+        assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn extra_substrates_share_the_clock() {
+        #[derive(Debug, Default)]
+        struct Probe(std::sync::Arc<std::sync::atomic::AtomicU64>);
+        impl Environment for Probe {
+            fn advance_to(&mut self, now: Timestamp) {
+                self.0.store(now.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let probe = Probe::default();
+        let seen = probe.0.clone();
+        let mut node = MultiNode::builder().substrate(probe).build().unwrap();
+        node.advance_to(Timestamp::from_secs(4));
+        assert_eq!(
+            seen.load(std::sync::atomic::Ordering::SeqCst),
+            Timestamp::from_secs(4).as_nanos()
+        );
+    }
+}

@@ -12,12 +12,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = SimDuration::from_secs(120);
 
     let agents = colocated_agents(ColocationConfig::default());
-    let (overclock_id, harvest_id) = (agents.overclock_id, agents.harvest_id);
+    let (overclock, harvest) = (agents.overclock, agents.harvest);
     let (cpu, harvest_node) = (agents.cpu.clone(), agents.harvest_node.clone());
 
     // Targeted failure injection: only the overclock Model thread stalls.
+    // The typed handle converts into an AgentId for the intervention API.
     let mut runtime = agents.runtime;
-    runtime.delay_model_at(overclock_id, Timestamp::from_secs(45), SimDuration::from_secs(30));
+    runtime.delay_model_at(overclock, Timestamp::from_secs(45), SimDuration::from_secs(30));
 
     let report = runtime.run_for(horizon)?;
 
@@ -43,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  overclocked VM: perf score {perf:.3}, avg power {power:.1} W");
     println!("  primary VM:     p99 latency {p99:.2} ms, harvested {harvested:.1} core-s");
 
-    let delayed = report.agent(overclock_id).stats.model.epochs_completed;
-    let harvest_epochs = report.agent(harvest_id).stats.model.epochs_completed;
+    let delayed = report.agent(overclock).stats().model.epochs_completed;
+    let harvest_epochs = report.agent(harvest).stats().model.epochs_completed;
     assert!(delayed < 120, "the 30s delay must cost the overclock agent epochs");
     assert!(harvest_epochs > 2_000, "the harvest agent must be unaffected enough to keep learning");
     println!("targeted delay verified: overclock lost epochs, harvest kept {harvest_epochs}");

@@ -96,7 +96,7 @@ fn node_runtime_matches_sim_runtime_for_smart_overclock() {
     let id = rt.register_agent("smart-overclock", model, actuator, overclock_schedule());
     let node = rt.run_for(horizon).unwrap();
 
-    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent_report(id).unwrap().stats));
     assert_eq!(sim.ended_at, node.ended_at);
     let metrics =
         |n: &Shared<CpuNode>| n.with(|n| (debug_bytes(&n.energy_joules()), n.frequency_changes()));
@@ -121,7 +121,7 @@ fn node_runtime_matches_sim_runtime_for_smart_harvest() {
     let id = rt.register_agent("smart-harvest", model, actuator, harvest_schedule());
     let node = rt.run_for(horizon).unwrap();
 
-    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent_report(id).unwrap().stats));
     assert_eq!(sim.ended_at, node.ended_at);
     let metrics = |n: &Shared<HarvestNode>| {
         n.with(|n| (debug_bytes(&n.harvested_core_seconds()), debug_bytes(&n.mean_latency_ms())))
@@ -151,7 +151,7 @@ fn node_runtime_matches_sim_runtime_for_smart_memory() {
     let id = rt.register_agent("smart-memory", model, actuator, memory_schedule());
     let node = rt.run_for(horizon).unwrap();
 
-    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent(id).stats));
+    assert_eq!(debug_bytes(&sim.stats), debug_bytes(&node.agent_report(id).unwrap().stats));
     assert_eq!(sim.ended_at, node.ended_at);
     let metrics = |n: &Shared<MemoryNode>| {
         n.with(|n| (debug_bytes(&n.local_batch_count()), debug_bytes(&n.recent_remote_fraction())))
@@ -164,16 +164,89 @@ fn node_runtime_matches_sim_runtime_for_smart_memory() {
 // environment metrics, including with a targeted intervention in flight.
 // ---------------------------------------------------------------------------
 
+/// The `ScenarioBuilder` front door must be a pure re-packaging of
+/// `NodeRuntime::new` + `register_agent`: a builder-assembled two-agent node
+/// (what `colocated_agents` produces) has to be byte-identical to the same
+/// node wired by hand through the legacy registration API.
+#[test]
+fn builder_assembly_is_byte_identical_to_legacy_wiring() {
+    let horizon = SimDuration::from_secs(60);
+
+    // Legacy wiring: construct the substrates, environment, and runtime by
+    // hand, registering each agent through the untyped API.
+    let legacy = {
+        let cpu = Shared::new(CpuNode::new(
+            OverclockWorkloadKind::ObjectStore.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+        ));
+        let harvest_node =
+            Shared::new(HarvestNode::new(BurstyService::image_dnn(), HarvestNodeConfig::default()));
+        let node = MultiNode::builder()
+            .cpu(cpu.clone())
+            .harvest(harvest_node.clone())
+            .coupling(Coupling::FrequencyToDemand)
+            .build()
+            .unwrap();
+        let mut rt = NodeRuntime::new(node);
+        let (oc_model, oc_actuator) = smart_overclock(&cpu, OverclockConfig::default());
+        let oc = rt.register_agent("smart-overclock", oc_model, oc_actuator, overclock_schedule());
+        let (hv_model, hv_actuator) = smart_harvest(&harvest_node, HarvestConfig::default());
+        let hv = rt.register_agent("smart-harvest", hv_model, hv_actuator, harvest_schedule());
+        let report = rt.run_for(horizon).unwrap();
+        (
+            debug_bytes(&report.agent_report(oc).unwrap().stats),
+            debug_bytes(&report.agent_report(hv).unwrap().stats),
+            cpu.with(|n| debug_bytes(&n.energy_joules())),
+            harvest_node.with(|n| debug_bytes(&n.harvested_core_seconds())),
+            report.ended_at,
+        )
+    };
+
+    // Builder wiring: the `colocated_agents` preset over `ScenarioBuilder`.
+    let built = {
+        let agents = colocated_agents(ColocationConfig::default());
+        let (oc, hv) = (agents.overclock, agents.harvest);
+        let report = agents.runtime.run_for(horizon).unwrap();
+        (
+            debug_bytes(report.agent(oc).stats()),
+            debug_bytes(report.agent(hv).stats()),
+            agents.cpu.with(|n| debug_bytes(&n.energy_joules())),
+            agents.harvest_node.with(|n| debug_bytes(&n.harvested_core_seconds())),
+            report.ended_at,
+        )
+    };
+
+    assert_eq!(legacy, built);
+}
+
+#[test]
+fn three_agent_runs_are_byte_identical_per_agent() {
+    let run = || {
+        let agents = three_agents(ThreeAgentConfig::default());
+        let (oc, hv, mem) = (agents.overclock, agents.harvest, agents.memory);
+        let report = agents.runtime.run_for(SimDuration::from_secs(45)).unwrap();
+        (
+            debug_bytes(report.agent(oc).stats()),
+            debug_bytes(report.agent(hv).stats()),
+            debug_bytes(report.agent(mem).stats()),
+            agents.cpu.with(|n| debug_bytes(&n.energy_joules())),
+            agents.memory_node.with(|n| debug_bytes(&n.recent_remote_fraction())),
+            report.ended_at,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
 #[test]
 fn colocated_runs_are_byte_identical_per_agent() {
     let run = || {
         let agents = colocated_agents(ColocationConfig::default());
-        let (oc, hv) = (agents.overclock_id, agents.harvest_id);
+        let (oc, hv) = (agents.overclock, agents.harvest);
         let mut runtime = agents.runtime;
         runtime.delay_model_at(oc, Timestamp::from_secs(20), SimDuration::from_secs(10));
         let report = runtime.run_for(SimDuration::from_secs(60)).unwrap();
-        let oc_stats = debug_bytes(&report.agent(oc).stats);
-        let hv_stats = debug_bytes(&report.agent(hv).stats);
+        let oc_stats = debug_bytes(&report.agent(oc).stats());
+        let hv_stats = debug_bytes(&report.agent(hv).stats());
         let cpu_metrics = agents.cpu.with(|n| debug_bytes(&n.energy_joules()));
         let hv_metrics = agents.harvest_node.with(|n| {
             (debug_bytes(&n.harvested_core_seconds()), debug_bytes(&n.mean_latency_ms()))

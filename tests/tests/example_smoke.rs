@@ -58,3 +58,8 @@ fn failure_injection_example_runs() {
 fn colocation_example_runs() {
     run_example("colocation");
 }
+
+#[test]
+fn three_agents_example_runs() {
+    run_example("three_agents");
+}

@@ -1,0 +1,88 @@
+//! `ReplayDriver` end to end: record a SmartOverclock run's actuation
+//! sequence and replay it through the builder's `.driver(...)` path on a
+//! fresh node, verifying the replayed node reproduces the same sequence of
+//! frequency actuations.
+
+use sol_agents::prelude::*;
+use sol_core::prelude::*;
+use sol_node_sim::prelude::*;
+
+fn fresh_cpu() -> Shared<CpuNode> {
+    let node = Shared::new(CpuNode::new(
+        OverclockWorkloadKind::ObjectStore.build(8),
+        CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() },
+    ));
+    node.with(|n| n.enable_trace());
+    node
+}
+
+/// Extracts the frequency actuation sequence from a node's trace: one entry
+/// per transition, stamped with the trace point where the new frequency first
+/// became visible.
+fn frequency_transitions(node: &Shared<CpuNode>) -> Vec<ReplayEntry<f64>> {
+    node.with(|n| {
+        let mut out = Vec::new();
+        let mut last = n.nominal_frequency_ghz();
+        for p in n.trace() {
+            if (p.frequency_ghz - last).abs() > 1e-9 {
+                out.push(ReplayEntry::new(p.at, p.frequency_ghz));
+                last = p.frequency_ghz;
+            }
+        }
+        out
+    })
+}
+
+#[test]
+fn replaying_smart_overclock_trace_reproduces_actuation_sequence() {
+    let horizon = SimDuration::from_secs(60);
+
+    // 1. Record: SmartOverclock learns on a CPU-bound workload.
+    let recorded_node = fresh_cpu();
+    let mut builder = NodeRuntime::builder(recorded_node.clone());
+    builder.register(overclock_blueprint(&recorded_node, OverclockConfig::default()));
+    builder.build().run_for(horizon).unwrap();
+    let trace = frequency_transitions(&recorded_node);
+    assert!(trace.len() >= 5, "the learner should change frequency, got {} changes", trace.len());
+
+    // 2. Replay the recorded actuations through a ReplayDriver on a fresh
+    //    node — no learner involved.
+    let replay_node = fresh_cpu();
+    let mut builder = NodeRuntime::builder(replay_node.clone());
+    let driver = builder.driver(
+        "overclock-replay",
+        ReplayDriver::new(trace.clone(), |env: &mut Shared<CpuNode>, _now, ghz: &f64| {
+            env.with(|n| n.set_frequency_ghz(*ghz));
+        }),
+    );
+    // Keep the environment advancing as finely as the CPU node integrates so
+    // replayed transitions become visible promptly.
+    let runtime = builder.max_environment_step(SimDuration::from_millis(25)).unwrap().build();
+    let report = runtime.run_for(horizon).unwrap();
+
+    // Every recorded action was replayed...
+    let replay = report.driver(driver);
+    assert!(replay.finished());
+    assert_eq!(replay.actions_replayed(), trace.len() as u64);
+    assert_eq!(report.agent_report(driver).unwrap().stats.actions_taken(), trace.len() as u64);
+
+    // ...and the replayed node went through the exact same frequency
+    // sequence, each transition within one integration step of the original.
+    let replayed = frequency_transitions(&replay_node);
+    assert_eq!(replayed.len(), trace.len(), "same number of transitions");
+    assert_eq!(replay_node.with(|n| n.frequency_changes()), trace.len() as u64);
+    for (original, replayed) in trace.iter().zip(&replayed) {
+        assert_eq!(original.action, replayed.action, "same frequency, in order");
+        let drift = replayed.at.duration_since(original.at);
+        assert!(
+            drift <= SimDuration::from_millis(100),
+            "transition to {} GHz drifted {drift}",
+            original.action
+        );
+    }
+    assert_eq!(
+        recorded_node.with(|n| n.frequency_ghz()),
+        replay_node.with(|n| n.frequency_ghz()),
+        "both nodes end at the same frequency"
+    );
+}
