@@ -20,7 +20,8 @@
 //! ([`overclock_blueprint`], [`harvest_blueprint`], [`memory_blueprint`])
 //! directly.
 
-use sol_core::runtime::builder::AgentHandle;
+use sol_core::runtime::builder::{AgentHandle, ScenarioRecipe};
+use sol_core::runtime::fleet::NodeSeed;
 use sol_core::runtime::node::NodeRuntime;
 use sol_node_sim::cpu_node::{CpuNode, CpuNodeConfig};
 use sol_node_sim::harvest_node::{BurstyService, HarvestNode, HarvestNodeConfig};
@@ -32,6 +33,21 @@ use sol_node_sim::workload::OverclockWorkloadKind;
 use crate::harvest::{harvest_blueprint, HarvestActuator, HarvestConfig, HarvestModel};
 use crate::memory::{memory_blueprint, MemoryActuator, MemoryConfig, MemoryModel};
 use crate::overclock::{overclock_blueprint, OverclockActuator, OverclockConfig, OverclockModel};
+
+/// Sub-seed streams of a fleet [`NodeSeed`], one per random consumer on a
+/// node. Fixed assignments keep recipes reproducible: adding a consumer means
+/// adding a stream, never renumbering existing ones.
+const STREAM_OVERCLOCK_LEARNER: u64 = 0;
+const STREAM_CPU_NODE: u64 = 1;
+const STREAM_MEMORY_LEARNER: u64 = 2;
+const STREAM_MEMORY_NODE: u64 = 3;
+
+/// The minimum fraction of active seconds that must meet the node's
+/// configured local-access SLO (`MemoryConfig::local_access_slo`) for the
+/// node to count as healthy; fleet recipes report a `memory_slo_violations`
+/// metric of 1 for nodes below this attainment floor (the same floor the
+/// `three_agents` example asserts).
+pub const MEMORY_SLO_ATTAINMENT_FLOOR: f64 = 0.5;
 
 /// Configuration for a co-located two-agent node.
 #[derive(Debug, Clone)]
@@ -46,6 +62,8 @@ pub struct ColocationConfig {
     pub service: BurstyService,
     /// Cores visible to the overclocked VM.
     pub cores: usize,
+    /// RNG seed of the CPU substrate's fault injector.
+    pub cpu_seed: u64,
     /// Whether overclocking speeds up the harvest-side primary VM
     /// (shared frequency domain).
     pub couple_frequency: bool,
@@ -59,8 +77,21 @@ impl Default for ColocationConfig {
             workload: OverclockWorkloadKind::ObjectStore,
             service: BurstyService::image_dnn(),
             cores: 8,
+            cpu_seed: CpuNodeConfig::default().seed,
             couple_frequency: true,
         }
+    }
+}
+
+impl ColocationConfig {
+    /// Derives every random stream of this node from a fleet [`NodeSeed`]
+    /// (see [`colocated_recipe`]): the SmartOverclock Q-learner and the CPU
+    /// substrate's fault injector each get an independent sub-seed, so fleet
+    /// nodes are heterogeneous but each node is fully deterministic.
+    pub fn reseeded(mut self, seed: &NodeSeed) -> Self {
+        self.overclock.seed = seed.stream(STREAM_OVERCLOCK_LEARNER);
+        self.cpu_seed = seed.stream(STREAM_CPU_NODE);
+        self
     }
 }
 
@@ -99,7 +130,8 @@ pub struct ColocatedAgents {
 pub fn colocated_agents(config: ColocationConfig) -> ColocatedAgents {
     let cpu = Shared::new(CpuNode::new(
         config.workload.build(config.cores),
-        CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() },
+        CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
+            .with_seed(config.cpu_seed),
     ));
     let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
     let mut node = MultiNode::builder().cpu(cpu.clone()).harvest(harvest_node.clone());
@@ -135,6 +167,8 @@ pub struct ThreeAgentConfig {
     pub memory_node: MemoryNodeConfig,
     /// Cores visible to the overclocked VM.
     pub cores: usize,
+    /// RNG seed of the CPU substrate's fault injector.
+    pub cpu_seed: u64,
     /// Whether overclocking speeds up the harvest-side primary VM
     /// (shared frequency domain).
     pub couple_frequency: bool,
@@ -158,9 +192,26 @@ impl Default for ThreeAgentConfig {
                 ..MemoryNodeConfig::default()
             },
             cores: 8,
+            cpu_seed: CpuNodeConfig::default().seed,
             couple_frequency: true,
             couple_memory_bandwidth: true,
         }
+    }
+}
+
+impl ThreeAgentConfig {
+    /// Derives every random stream of this node from a fleet [`NodeSeed`]
+    /// (see [`three_agents_recipe`]): the SmartOverclock Q-learner, the
+    /// SmartMemory Thompson samplers, the CPU substrate's fault injector, and
+    /// the memory substrate's access sampler each get an independent
+    /// sub-seed, so fleet nodes are heterogeneous but each node is fully
+    /// deterministic.
+    pub fn reseeded(mut self, seed: &NodeSeed) -> Self {
+        self.overclock.seed = seed.stream(STREAM_OVERCLOCK_LEARNER);
+        self.cpu_seed = seed.stream(STREAM_CPU_NODE);
+        self.memory.seed = seed.stream(STREAM_MEMORY_LEARNER);
+        self.memory_node = self.memory_node.with_seed(seed.stream(STREAM_MEMORY_NODE));
+        self
     }
 }
 
@@ -207,7 +258,8 @@ pub struct ThreeAgents {
 pub fn three_agents(config: ThreeAgentConfig) -> ThreeAgents {
     let cpu = Shared::new(CpuNode::new(
         config.workload.build(config.cores),
-        CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() },
+        CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
+            .with_seed(config.cpu_seed),
     ));
     let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
     let memory_node = Shared::new(MemoryNode::new(config.memory_workload, config.memory_node));
@@ -237,6 +289,112 @@ pub fn three_agents(config: ThreeAgentConfig) -> ThreeAgents {
         cpu,
         harvest_node,
         memory_node,
+    }
+}
+
+/// A fleet-ready two-agent node recipe: the [`ScenarioRecipe`] plus the
+/// handle set shared by every node it stamps out (each node replays the same
+/// registration sequence, so the handles are valid fleet-wide — including
+/// against [`FleetReport::role`](sol_core::runtime::fleet::FleetReport::role)).
+pub struct ColocatedRecipe {
+    /// The replayable node assembly; pass to
+    /// [`FleetRuntime::new`](sol_core::runtime::fleet::FleetRuntime::new).
+    pub recipe: ScenarioRecipe<MultiNode>,
+    /// Handle to the SmartOverclock agent on every node.
+    pub overclock: AgentHandle<OverclockModel, OverclockActuator>,
+    /// Handle to the SmartHarvest agent on every node.
+    pub harvest: AgentHandle<HarvestModel, HarvestActuator>,
+}
+
+/// Packages [`colocated_agents`] as a fleet recipe: every node is stamped out
+/// from `base` with its learner and substrate RNGs reseeded per node
+/// ([`ColocationConfig::reseeded`]). The recipe reports the CPU and harvest
+/// substrate outcomes (`perf_score`, `avg_power_watts`, `p99_latency_ms`,
+/// `harvested_core_seconds`) as fleet metrics.
+pub fn colocated_recipe(base: ColocationConfig) -> ColocatedRecipe {
+    // Handles are positional, so one probe assembly yields the handle set
+    // shared by every node. Building (and discarding) a probe node keeps the
+    // invariant that handles only ever come from a real registration; the
+    // cost is one cheap construction per recipe, never per node.
+    let probe = colocated_agents(base.clone());
+    let recipe = ScenarioRecipe::new(move |seed: &NodeSeed| {
+        colocated_agents(base.clone().reseeded(seed)).runtime
+    })
+    .with_metrics(|report| {
+        let env = &report.environment;
+        let cpu = env.cpu().expect("recipe registers the CPU substrate");
+        let harvest = env.harvest().expect("recipe registers the harvest substrate");
+        let (perf, power) = cpu.with(|n| (n.performance().score, n.average_power_watts()));
+        let (p99, harvested) = harvest.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+        vec![
+            ("perf_score".into(), perf),
+            ("avg_power_watts".into(), power),
+            ("p99_latency_ms".into(), p99),
+            ("harvested_core_seconds".into(), harvested),
+        ]
+    });
+    ColocatedRecipe { recipe, overclock: probe.overclock, harvest: probe.harvest }
+}
+
+/// A fleet-ready three-agent node recipe (see [`ColocatedRecipe`] for the
+/// handle-sharing contract).
+pub struct ThreeAgentsRecipe {
+    /// The replayable node assembly; pass to
+    /// [`FleetRuntime::new`](sol_core::runtime::fleet::FleetRuntime::new).
+    pub recipe: ScenarioRecipe<MultiNode>,
+    /// Handle to the SmartOverclock agent on every node.
+    pub overclock: AgentHandle<OverclockModel, OverclockActuator>,
+    /// Handle to the SmartHarvest agent on every node.
+    pub harvest: AgentHandle<HarvestModel, HarvestActuator>,
+    /// Handle to the SmartMemory agent on every node.
+    pub memory: AgentHandle<MemoryModel, MemoryActuator>,
+}
+
+/// Packages [`three_agents`] as a fleet recipe: every node is stamped out
+/// from `base` with its learner and substrate RNGs reseeded per node
+/// ([`ThreeAgentConfig::reseeded`]). On top of the two-agent metrics the
+/// recipe reports `memory_slo_attainment` (against the SLO the node's
+/// SmartMemory agent is actually configured to enforce,
+/// `base.memory.local_access_slo`), `memory_remote_batches`, and
+/// `memory_slo_violations` (1 for nodes whose attainment fell below
+/// [`MEMORY_SLO_ATTAINMENT_FLOOR`]), so a fleet run's dashboard directly
+/// counts SLO-violating servers.
+pub fn three_agents_recipe(base: ThreeAgentConfig) -> ThreeAgentsRecipe {
+    // One probe assembly yields the fleet-wide handle set; see
+    // `colocated_recipe` for the tradeoff.
+    let probe = three_agents(base.clone());
+    // Measure attainment against the SLO the agents enforce, not a constant:
+    // a fleet configured for a 90%-local SLO must be judged at 90%.
+    let slo_target = base.memory.local_access_slo;
+    let recipe = ScenarioRecipe::new(move |seed: &NodeSeed| {
+        three_agents(base.clone().reseeded(seed)).runtime
+    })
+    .with_metrics(move |report| {
+        let env = &report.environment;
+        let cpu = env.cpu().expect("recipe registers the CPU substrate");
+        let harvest = env.harvest().expect("recipe registers the harvest substrate");
+        let memory = env.memory().expect("recipe registers the memory substrate");
+        let (perf, power) = cpu.with(|n| (n.performance().score, n.average_power_watts()));
+        let (p99, harvested) = harvest.with(|n| (n.p99_latency_ms(), n.harvested_core_seconds()));
+        let (slo, remote) = memory.with(|n| (n.slo_attainment(slo_target), n.remote_batch_count()));
+        vec![
+            ("perf_score".into(), perf),
+            ("avg_power_watts".into(), power),
+            ("p99_latency_ms".into(), p99),
+            ("harvested_core_seconds".into(), harvested),
+            ("memory_slo_attainment".into(), slo),
+            ("memory_remote_batches".into(), remote as f64),
+            (
+                "memory_slo_violations".into(),
+                if slo < MEMORY_SLO_ATTAINMENT_FLOOR { 1.0 } else { 0.0 },
+            ),
+        ]
+    });
+    ThreeAgentsRecipe {
+        recipe,
+        overclock: probe.overclock,
+        harvest: probe.harvest,
+        memory: probe.memory,
     }
 }
 
@@ -337,6 +495,67 @@ mod tests {
         // The ObjectStore CPU workload overclocks quickly, so the coupled
         // memory substrate sees at least as many accesses.
         assert!(run(true) >= run(false));
+    }
+
+    #[test]
+    fn reseeding_derives_independent_streams() {
+        let seed = NodeSeed::derive(99, 5);
+        let two = ColocationConfig::default().reseeded(&seed);
+        let three = ThreeAgentConfig::default().reseeded(&seed);
+        // The same stream assignments hold across both presets.
+        assert_eq!(two.overclock.seed, three.overclock.seed);
+        assert_eq!(two.cpu_seed, three.cpu_seed);
+        // All streams of one node are distinct.
+        let streams =
+            [three.overclock.seed, three.cpu_seed, three.memory.seed, three.memory_node.seed];
+        let unique: std::collections::HashSet<u64> = streams.iter().copied().collect();
+        assert_eq!(unique.len(), streams.len());
+        // A different node gets different streams.
+        let other = ColocationConfig::default().reseeded(&NodeSeed::derive(99, 6));
+        assert_ne!(two.overclock.seed, other.overclock.seed);
+    }
+
+    #[test]
+    fn recipe_instantiations_are_deterministic_per_seed() {
+        let run = |seed: &NodeSeed| {
+            let preset = colocated_recipe(ColocationConfig::default());
+            let report =
+                preset.recipe.instantiate(seed).run_for(SimDuration::from_secs(30)).unwrap();
+            let stats = format!(
+                "{:#?}{:#?}",
+                report.agent(preset.overclock).stats(),
+                report.agent(preset.harvest).stats()
+            );
+            (stats, preset.recipe.extract_metrics(&report))
+        };
+        let seed = NodeSeed::derive(1, 2);
+        assert_eq!(run(&seed), run(&seed));
+        // Different node seeds diverge (different Q-learner exploration).
+        assert_ne!(run(&seed), run(&NodeSeed::derive(1, 3)));
+    }
+
+    #[test]
+    fn three_agent_recipe_reports_memory_metrics() {
+        let preset = three_agents_recipe(ThreeAgentConfig::default());
+        let seed = NodeSeed::derive(0, 0);
+        let report = preset.recipe.instantiate(&seed).run_for(SimDuration::from_secs(45)).unwrap();
+        let metrics = preset.recipe.extract_metrics(&report);
+        let names: Vec<&str> = metrics.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "perf_score",
+            "avg_power_watts",
+            "p99_latency_ms",
+            "harvested_core_seconds",
+            "memory_slo_attainment",
+            "memory_remote_batches",
+            "memory_slo_violations",
+        ] {
+            assert!(names.contains(&expected), "missing metric {expected}");
+        }
+        // Handles from the preset read every agent without downcasts.
+        assert!(report.agent(preset.overclock).stats().model.epochs_completed > 0);
+        assert!(report.agent(preset.harvest).stats().model.epochs_completed > 0);
+        assert!(report.agent(preset.memory).stats().model.samples_committed > 0);
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub mod overclock;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::colocation::{
-        colocated_agents, three_agents, ColocatedAgents, ColocationConfig, ThreeAgentConfig,
-        ThreeAgents,
+        colocated_agents, colocated_recipe, three_agents, three_agents_recipe, ColocatedAgents,
+        ColocatedRecipe, ColocationConfig, ThreeAgentConfig, ThreeAgents, ThreeAgentsRecipe,
+        MEMORY_SLO_ATTAINMENT_FLOOR,
     };
     pub use crate::harvest::{
         blocking_harvest_schedule, harvest_blueprint, harvest_schedule, smart_harvest,

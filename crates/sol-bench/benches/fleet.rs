@@ -1,0 +1,60 @@
+//! Fleet scaling table: the default two-agent co-location recipe stamped out
+//! across 1/8/64/256 simulated servers, crossed with worker-thread counts,
+//! reporting wall-clock per virtual minute (total and per node). The fleet
+//! outcome columns are thread-count independent by construction — only the
+//! wall-clock columns may vary between thread counts (and only show a
+//! speedup when the host actually has spare cores).
+//!
+//! Quick-mode knobs (used by CI so the table cannot silently rot):
+//! * `SOL_HORIZON_SECS` — virtual horizon per fleet run (default 60).
+//! * `SOL_FLEET_MAX_NODES` — drop fleet sizes above this bound (default 256;
+//!   CI uses 8).
+
+use sol_bench::fleet_experiments::scaling_table;
+use sol_bench::report::{fmt, print_table};
+use sol_core::time::SimDuration;
+
+fn main() {
+    let horizon = SimDuration::from_secs(env_u64("SOL_HORIZON_SECS", 60));
+    let max_nodes = env_u64("SOL_FLEET_MAX_NODES", 256) as usize;
+    let node_counts: Vec<usize> =
+        [1usize, 8, 64, 256].into_iter().filter(|&n| n <= max_nodes).collect();
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let rows: Vec<Vec<String>> = scaling_table(&node_counts, &thread_counts, horizon)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                r.threads.to_string(),
+                fmt(r.wall_ms_per_virtual_minute),
+                fmt(r.wall_ms_per_node_minute),
+                r.epochs.to_string(),
+                r.overclock_epochs.to_string(),
+                fmt(r.harvest_safeguard_rate),
+                format!("{} / {}", fmt(r.mean_p99_latency_ms), fmt(r.max_p99_latency_ms)),
+                fmt(r.total_harvested_core_seconds),
+            ]
+        })
+        .collect();
+
+    print_table(
+        "Fleet scaling: wall-clock per virtual minute vs fleet size and threads",
+        &[
+            "Nodes",
+            "Threads",
+            "Wall ms/virt-min",
+            "Wall ms/node-min",
+            "Sync epochs",
+            "OC epochs",
+            "HV safeguard rate",
+            "P99 ms mean/max",
+            "Harvested core-s",
+        ],
+        &rows,
+    );
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

@@ -13,6 +13,7 @@
 //! | `fig7`, `fig8` | Figures 7–8 (SmartMemory) | [`memory_experiments`] |
 //! | `ablation` | design-choice ablations | [`overclock_experiments`] |
 //! | `colocation` | beyond the paper: agents co-located on one node | [`colocation_experiments`] |
+//! | `fleet` | beyond the paper: recipe-stamped fleets under one clock | [`fleet_experiments`] |
 //! | `micro` | framework/ML/runtime micro-benchmarks (Criterion) | — |
 //!
 //! Experiments run on the deterministic simulation runtime, so the printed
@@ -22,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod colocation_experiments;
+pub mod fleet_experiments;
 pub mod harvest_experiments;
 pub mod memory_experiments;
 pub mod overclock_experiments;

@@ -97,14 +97,19 @@ pub mod prelude {
     pub use crate::model::{Model, ModelAssessment};
     pub use crate::prediction::{Prediction, PredictionSource};
     pub use crate::runtime::builder::{
-        AgentBlueprint, AgentHandle, AgentView, DriverHandle, ScenarioBuilder, TakenAgent,
+        AgentBlueprint, AgentHandle, AgentView, DriverHandle, ScenarioBuilder, ScenarioRecipe,
+        TakenAgent,
+    };
+    pub use crate::runtime::fleet::{
+        FleetAgentReport, FleetConfig, FleetNodeReport, FleetReport, FleetRuntime, MetricSummary,
+        NodeSeed, Percentiles, RoleAggregate,
     };
     pub use crate::runtime::node::{
         AgentDriver, AgentId, AgentReport, LoopAgent, NodeReport, NodeRuntime,
     };
     pub use crate::runtime::replay::{ReplayDriver, ReplayEntry};
     pub use crate::runtime::sim::{SimReport, SimRuntime};
-    pub use crate::runtime::threaded::{run_agent, ThreadedAgent, ThreadedReport};
+    pub use crate::runtime::threaded::{leaked_threads, run_agent, ThreadedAgent, ThreadedReport};
     pub use crate::runtime::{Environment, NullEnvironment};
     pub use crate::schedule::Schedule;
     pub use crate::stats::AgentStats;

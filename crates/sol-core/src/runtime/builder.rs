@@ -83,10 +83,12 @@
 //! ```
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use crate::actuator::Actuator;
 use crate::error::{ReportError, RuntimeError};
 use crate::model::Model;
+use crate::runtime::fleet::NodeSeed;
 use crate::runtime::node::{AgentDriver, AgentId, LoopAgent, NodeReport, NodeRuntime};
 use crate::runtime::Environment;
 use crate::schedule::Schedule;
@@ -295,6 +297,81 @@ impl<E: Environment + 'static> ScenarioBuilder<E> {
     /// first — the handles convert into [`AgentId`]s).
     pub fn build(self) -> NodeRuntime<E> {
         self.runtime
+    }
+}
+
+/// A replayable node-assembly closure: everything needed to stamp out any
+/// number of identical-by-construction (but per-node seeded) nodes.
+///
+/// A recipe wraps a `Fn(&NodeSeed) -> NodeRuntime<E>` — typically a closure
+/// that derives substrate and learner seeds from the [`NodeSeed`], assembles a
+/// [`ScenarioBuilder`], and builds it. The
+/// [`FleetRuntime`](crate::runtime::fleet::FleetRuntime) instantiates the
+/// recipe once per simulated server, on whichever worker thread hosts that
+/// node, so the closure must be `Send + Sync` and deterministic in the seed:
+/// two instantiations with the same [`NodeSeed`] must produce byte-identical
+/// nodes regardless of thread.
+///
+/// Because every node replays the same registration sequence, the
+/// [`AgentHandle`]s returned while assembling *any* instantiation are valid
+/// for *every* instantiation — that is what lets fleet-level aggregates be
+/// keyed by handle. The presets in `sol-agents::colocation` package exactly
+/// this: a recipe plus the handle set shared by all nodes.
+///
+/// An optional metrics closure (see [`with_metrics`](Self::with_metrics))
+/// extracts named environment-level readings (SLO attainment, p99 latency,
+/// violation counts) from each finished node before its report is discarded,
+/// feeding the fleet's safety dashboards.
+pub struct ScenarioRecipe<E: Environment + 'static> {
+    build: Arc<BuildFn<E>>,
+    metrics: Arc<MetricsFn<E>>,
+}
+
+/// The node-assembly closure a [`ScenarioRecipe`] replays per node.
+type BuildFn<E> = dyn Fn(&NodeSeed) -> NodeRuntime<E> + Send + Sync;
+/// A recipe's environment-metric extractor.
+type MetricsFn<E> = dyn Fn(&NodeReport<E>) -> Vec<(String, f64)> + Send + Sync;
+
+impl<E: Environment + 'static> Clone for ScenarioRecipe<E> {
+    fn clone(&self) -> Self {
+        ScenarioRecipe { build: Arc::clone(&self.build), metrics: Arc::clone(&self.metrics) }
+    }
+}
+
+impl<E: Environment + 'static> std::fmt::Debug for ScenarioRecipe<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRecipe").finish_non_exhaustive()
+    }
+}
+
+impl<E: Environment + 'static> ScenarioRecipe<E> {
+    /// Wraps a node-assembly closure. The closure must be deterministic in
+    /// the seed (see the type docs).
+    pub fn new(build: impl Fn(&NodeSeed) -> NodeRuntime<E> + Send + Sync + 'static) -> Self {
+        ScenarioRecipe { build: Arc::new(build), metrics: Arc::new(|_| Vec::new()) }
+    }
+
+    /// Attaches a metrics extractor run against every finished node's
+    /// [`NodeReport`]. The returned `(name, value)` pairs are aggregated
+    /// across the fleet into
+    /// [`MetricSummary`](crate::runtime::fleet::MetricSummary) rows; every
+    /// node must report the same metric names.
+    pub fn with_metrics(
+        mut self,
+        metrics: impl Fn(&NodeReport<E>) -> Vec<(String, f64)> + Send + Sync + 'static,
+    ) -> Self {
+        self.metrics = Arc::new(metrics);
+        self
+    }
+
+    /// Stamps out one node for `seed`.
+    pub fn instantiate(&self, seed: &NodeSeed) -> NodeRuntime<E> {
+        (self.build)(seed)
+    }
+
+    /// Runs the metrics extractor against a finished node.
+    pub fn extract_metrics(&self, report: &NodeReport<E>) -> Vec<(String, f64)> {
+        (self.metrics)(report)
     }
 }
 

@@ -1,0 +1,896 @@
+//! `FleetRuntime`: many simulated servers, one virtual clock.
+//!
+//! SOL's deployment story is fleet-wide: every server runs its own on-node
+//! learners and the platform watches safety signals across thousands of
+//! nodes. [`FleetRuntime`] makes that scale representable. It stamps out *N*
+//! [`NodeRuntime`]s from one
+//! [`ScenarioRecipe`] — a replayable closure over the
+//! [`ScenarioBuilder`](crate::runtime::builder::ScenarioBuilder), seeded per
+//! node through [`NodeSeed`] so nodes are heterogeneous but deterministic —
+//! shards the nodes across a worker-thread pool, synchronizes all of them on
+//! epoch boundaries of one virtual clock, and aggregates every node's
+//! [`AgentStats`] into a [`FleetReport`] of fleet-level safety dashboards:
+//! safeguard-activation rates, environment metric summaries (SLO violations,
+//! tail latencies), and per-agent-role percentiles, keyed by the same
+//! [`AgentHandle`](crate::runtime::builder::AgentHandle)s the recipe's
+//! builder returned.
+//!
+//! # Determinism
+//!
+//! A fleet run is a pure function of `(recipe, FleetConfig, horizon)`:
+//!
+//! * per-node seeds come from an invertible mix of the fleet seed and the
+//!   node index ([`NodeSeed::derive`]), so they never collide and never
+//!   depend on scheduling;
+//! * every node advances through the same epoch grid
+//!   (`epoch, 2·epoch, …, horizon`) regardless of which worker hosts it, so
+//!   a node's trajectory is independent of the thread count; and
+//! * aggregation folds nodes in index order, never completion order.
+//!
+//! The resulting [`FleetReport`] is byte-identical for 1, 2, or 64 worker
+//! threads (enforced in `tests/tests/determinism.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sol_core::prelude::*;
+//! # use sol_core::error::DataError;
+//! # #[derive(Clone)]
+//! # struct M(f64);
+//! # impl Model for M {
+//! #     type Data = f64;
+//! #     type Pred = f64;
+//! #     fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> { Ok(self.0) }
+//! #     fn validate_data(&self, d: &f64) -> bool { d.is_finite() }
+//! #     fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
+//! #     fn update_model(&mut self, _now: Timestamp) {}
+//! #     fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+//! #         Some(Prediction::model(self.0, now, now + SimDuration::from_secs(1)))
+//! #     }
+//! #     fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+//! #         Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+//! #     }
+//! #     fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment { ModelAssessment::Healthy }
+//! # }
+//! # #[derive(Default)]
+//! # struct A { count: u64 }
+//! # impl Actuator for A {
+//! #     type Pred = f64;
+//! #     fn take_action(&mut self, _now: Timestamp, _pred: Option<&Prediction<f64>>) {
+//! #         self.count += 1;
+//! #     }
+//! #     fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+//! #         ActuatorAssessment::Acceptable
+//! #     }
+//! #     fn mitigate(&mut self, _now: Timestamp) {}
+//! #     fn clean_up(&mut self, _now: Timestamp) {}
+//! # }
+//! let schedule = Schedule::builder()
+//!     .data_per_epoch(2)
+//!     .data_collect_interval(SimDuration::from_millis(100))
+//!     .max_epoch_time(SimDuration::from_secs(1))
+//!     .build()?;
+//!
+//! // One agent per node; the per-node seed makes the fleet heterogeneous.
+//! let recipe = ScenarioRecipe::new(move |seed: &NodeSeed| {
+//!     let mut builder = NodeRuntime::builder(NullEnvironment);
+//!     builder.agent("learner", M(seed.stream(0) as f64), A::default(), schedule.clone());
+//!     builder.build()
+//! });
+//!
+//! let config = FleetConfig { nodes: 16, threads: 4, ..FleetConfig::default() };
+//! let report = FleetRuntime::new(recipe, config)?.run(SimDuration::from_secs(5))?;
+//! assert_eq!(report.nodes.len(), 16);
+//! assert_eq!(report.roles[0].name, "learner");
+//! assert_eq!(report.roles[0].totals.model.epochs_completed, 16 * 25);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::thread;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::error::{ReportError, RuntimeError};
+use crate::runtime::builder::ScenarioRecipe;
+use crate::runtime::node::{AgentId, NodeRuntime};
+use crate::runtime::Environment;
+use crate::stats::AgentStats;
+use crate::time::{SimDuration, Timestamp};
+
+/// Odd multiplier walking the per-node seed sequence (the golden-ratio
+/// constant of SplitMix64). Oddness makes `fleet_seed + GAMMA·index` distinct
+/// for every index, and [`splitmix64`] is a bijection, so derived seeds never
+/// collide within a fleet.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The deterministic identity of one node in a fleet: its index plus the
+/// seed derived from `(fleet_seed, index)`.
+///
+/// Recipes split the node seed into independent streams with
+/// [`stream`](Self::stream) — one per substrate or learner — so adding a new
+/// consumer never perturbs the existing ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeSeed {
+    fleet_seed: u64,
+    index: u64,
+    seed: u64,
+}
+
+impl NodeSeed {
+    /// Derives the seed of node `index` in the fleet seeded by `fleet_seed`.
+    ///
+    /// The derivation is collision-free: for a fixed `fleet_seed`, distinct
+    /// indices always yield distinct seeds (`fleet_seed + GAMMA·index` is
+    /// injective because `GAMMA` is odd, and the SplitMix64 finalizer is a
+    /// bijection). `tests/tests/fleet.rs` property-checks this for fleets up
+    /// to 4096 nodes.
+    pub fn derive(fleet_seed: u64, index: u64) -> NodeSeed {
+        let seed = splitmix64(fleet_seed.wrapping_add(index.wrapping_mul(GAMMA)));
+        NodeSeed { fleet_seed, index, seed }
+    }
+
+    /// The fleet master seed this node seed was derived from.
+    pub fn fleet_seed(&self) -> u64 {
+        self.fleet_seed
+    }
+
+    /// The node's index in the fleet (`0..nodes`).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The node's derived seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// An independent sub-seed for consumer `stream` (substrate RNG, learner
+    /// RNG, …). Distinct streams of one node never collide.
+    pub fn stream(&self, stream: u64) -> u64 {
+        splitmix64(self.seed.wrapping_add(stream.wrapping_mul(GAMMA)))
+    }
+}
+
+/// Shape of a fleet run: how many nodes, how many worker threads, the epoch
+/// synchronization quantum of the shared virtual clock, and the master seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated servers stamped out from the recipe.
+    pub nodes: usize,
+    /// Worker threads the nodes are sharded across (clamped to `nodes`).
+    /// The thread count never changes results — only wall-clock time.
+    pub threads: usize,
+    /// Virtual time between fleet-wide synchronization barriers. Every node
+    /// reaches epoch boundary `k·epoch` before any node starts epoch `k+1`.
+    pub epoch: SimDuration,
+    /// Master seed; per-node seeds are derived via [`NodeSeed::derive`].
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { nodes: 8, threads: 4, epoch: SimDuration::from_secs(1), seed: 0x501_f1ee7 }
+    }
+}
+
+/// Final counters of one agent on one fleet node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetAgentReport {
+    /// The name the agent was registered under (identical across nodes).
+    pub name: String,
+    /// The agent's final runtime counters.
+    pub stats: AgentStats,
+}
+
+/// Outcome of one node of a fleet run: per-agent counters plus the named
+/// environment metrics the recipe extracted before the node was discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetNodeReport {
+    /// The node's index in the fleet.
+    pub node: usize,
+    /// The derived seed the node was stamped out with.
+    pub seed: u64,
+    /// Per-agent outcomes, in registration order (the same order on every
+    /// node, so position == role).
+    pub agents: Vec<FleetAgentReport>,
+    /// Environment metrics extracted by the recipe's
+    /// [`with_metrics`](ScenarioRecipe::with_metrics) closure.
+    pub metrics: Vec<(String, f64)>,
+    /// The virtual time at which the node stopped.
+    pub ended_at: Timestamp,
+}
+
+/// Nearest-rank percentiles over one per-node statistic of an agent role.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Smallest per-node value.
+    pub min: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest per-node value.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes nearest-rank percentiles; `values` need not be sorted.
+    pub fn of(values: &[f64]) -> Percentiles {
+        assert!(!values.is_empty(), "percentiles need at least one value");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| {
+            let n = sorted.len();
+            let r = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+            sorted[r.min(n) - 1]
+        };
+        Percentiles {
+            min: sorted[0],
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Fleet-wide aggregate for one agent role (one registration position of the
+/// recipe), the unit of the safety dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleAggregate {
+    /// The name the role's agents were registered under.
+    pub name: String,
+    /// Number of nodes contributing to this aggregate.
+    pub nodes: usize,
+    /// Field-wise sum of every node's [`AgentStats`] for this role.
+    pub totals: AgentStats,
+    /// Fraction of nodes on which a safeguard activated at least once
+    /// (an Actuator safeguard trip or a Model prediction interception).
+    pub safeguard_activation_rate: f64,
+    /// Per-node distribution of completed learning epochs.
+    pub epochs_completed: Percentiles,
+    /// Per-node distribution of actions taken.
+    pub actions_taken: Percentiles,
+    /// Per-node distribution of Actuator safeguard trips.
+    pub safeguard_triggers: Percentiles,
+}
+
+/// Fleet-wide summary of one named environment metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name, as reported by the recipe's metrics closure.
+    pub name: String,
+    /// Number of nodes that reported the metric.
+    pub nodes: usize,
+    /// Sum across nodes (e.g. total SLO violations in the fleet).
+    pub total: f64,
+    /// Mean across nodes.
+    pub mean: f64,
+    /// Smallest per-node value.
+    pub min: f64,
+    /// Largest per-node value.
+    pub max: f64,
+}
+
+/// Results of a completed fleet run: per-node outcomes in index order plus
+/// the fleet-level dashboards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-node outcomes, sorted by node index.
+    pub nodes: Vec<FleetNodeReport>,
+    /// Per-role aggregates, in agent registration order. Index with the
+    /// [`AgentHandle`](crate::runtime::builder::AgentHandle)s the recipe's
+    /// builder returned, via [`role`](Self::role).
+    pub roles: Vec<RoleAggregate>,
+    /// Summaries of the recipe-extracted environment metrics, in first-seen
+    /// order.
+    pub metrics: Vec<MetricSummary>,
+    /// The virtual time at which the fleet stopped (identical on every node).
+    pub ended_at: Timestamp,
+    /// Number of epoch-boundary synchronizations the run performed.
+    pub epochs: u64,
+}
+
+impl FleetReport {
+    /// The aggregate for one agent role, keyed by the
+    /// [`AgentHandle`](crate::runtime::builder::AgentHandle) (or [`AgentId`])
+    /// the recipe's builder returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not name a role of this fleet; use
+    /// [`try_role`](Self::try_role) to handle that as a [`ReportError`].
+    pub fn role(&self, handle: impl Into<AgentId>) -> &RoleAggregate {
+        self.try_role(handle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`role`](Self::role).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownAgent`] if the handle's position is out
+    /// of range for the recipe's agent population.
+    pub fn try_role(&self, handle: impl Into<AgentId>) -> Result<&RoleAggregate, ReportError> {
+        let id = handle.into();
+        self.roles.get(id.index()).ok_or_else(|| ReportError::UnknownAgent(id.to_string()))
+    }
+
+    /// The summary of one recipe-extracted environment metric, by name.
+    pub fn metric(&self, name: &str) -> Option<&MetricSummary> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// What a worker sends back to the coordinator.
+enum WorkerMsg {
+    /// All nodes owned by the worker reached the current epoch boundary.
+    EpochDone,
+    /// Final per-node outcomes (sent once, after the last epoch).
+    Finished(Vec<FleetNodeReport>),
+}
+
+/// Drives *N* recipe-stamped [`NodeRuntime`]s under one virtual clock. See
+/// the [module docs](self).
+pub struct FleetRuntime<E: Environment + 'static> {
+    recipe: ScenarioRecipe<E>,
+    config: FleetConfig,
+}
+
+impl<E: Environment + 'static> Clone for FleetRuntime<E> {
+    fn clone(&self) -> Self {
+        FleetRuntime { recipe: self.recipe.clone(), config: self.config.clone() }
+    }
+}
+
+impl<E: Environment + 'static> std::fmt::Debug for FleetRuntime<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRuntime").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl<E: Environment + 'static> FleetRuntime<E> {
+    /// Creates a fleet from a recipe and a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `nodes` or `threads` is
+    /// zero, or if `epoch` is zero.
+    pub fn new(recipe: ScenarioRecipe<E>, config: FleetConfig) -> Result<Self, RuntimeError> {
+        if config.nodes == 0 {
+            return Err(RuntimeError::InvalidConfig("fleet must have at least one node".into()));
+        }
+        if config.threads == 0 {
+            return Err(RuntimeError::InvalidConfig("fleet needs at least one worker".into()));
+        }
+        if config.epoch.is_zero() {
+            return Err(RuntimeError::InvalidConfig("fleet epoch must be non-zero".into()));
+        }
+        Ok(FleetRuntime { recipe, config })
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The seed node `index` would be stamped out with.
+    pub fn node_seed(&self, index: usize) -> NodeSeed {
+        NodeSeed::derive(self.config.seed, index as u64)
+    }
+
+    /// Runs the whole fleet for `horizon` of virtual time: instantiates every
+    /// node from the recipe, shards the nodes across the worker pool, and
+    /// advances all of them epoch by epoch (no node enters epoch `k+1`
+    /// before every node finished epoch `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero,
+    /// [`RuntimeError::WorkerPanicked`] if a worker thread died (e.g. the
+    /// recipe panicked), and [`RuntimeError::InvalidConfig`] if the recipe
+    /// produced differing agent populations across nodes.
+    pub fn run(&self, horizon: SimDuration) -> Result<FleetReport, RuntimeError> {
+        if horizon.is_zero() {
+            return Err(RuntimeError::EmptyHorizon);
+        }
+        let boundaries = epoch_boundaries(horizon, self.config.epoch);
+        let threads = self.config.threads.min(self.config.nodes);
+
+        // Static round-robin sharding: node i runs on worker i mod T. The
+        // assignment affects wall-clock only — every node's trajectory is a
+        // pure function of its seed and the shared epoch grid.
+        let mut assignments: Vec<Vec<NodeSeed>> = (0..threads).map(|_| Vec::new()).collect();
+        for index in 0..self.config.nodes {
+            assignments[index % threads].push(self.node_seed(index));
+        }
+
+        let mut links = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for seeds in assignments {
+            let (proceed_tx, proceed_rx) = channel::unbounded::<()>();
+            let (done_tx, done_rx) = channel::unbounded::<WorkerMsg>();
+            links.push((proceed_tx, done_rx));
+            let recipe = self.recipe.clone();
+            let boundaries = boundaries.clone();
+            let handle = thread::Builder::new()
+                .name("sol-fleet-worker".into())
+                .spawn(move || worker(recipe, seeds, boundaries, proceed_rx, done_tx))
+                .expect("spawn fleet worker");
+            handles.push(handle);
+        }
+
+        let mut node_reports: Vec<Option<FleetNodeReport>> =
+            (0..self.config.nodes).map(|_| None).collect();
+        let mut failed = false;
+
+        // Epoch barrier: collect one EpochDone per worker, then release all
+        // of them into the next epoch. A worker death (recv error) aborts
+        // the protocol; dropping our `proceed` senders unblocks the others.
+        'protocol: {
+            for k in 0..boundaries.len() {
+                for (_, done_rx) in &links {
+                    match done_rx.recv() {
+                        Ok(WorkerMsg::EpochDone) => {}
+                        _ => {
+                            failed = true;
+                            break 'protocol;
+                        }
+                    }
+                }
+                if k + 1 < boundaries.len() {
+                    for (proceed_tx, _) in &links {
+                        if proceed_tx.send(()).is_err() {
+                            failed = true;
+                            break 'protocol;
+                        }
+                    }
+                }
+            }
+            for (_, done_rx) in &links {
+                match done_rx.recv() {
+                    Ok(WorkerMsg::Finished(reports)) => {
+                        for report in reports {
+                            let index = report.node;
+                            node_reports[index] = Some(report);
+                        }
+                    }
+                    _ => {
+                        failed = true;
+                        break 'protocol;
+                    }
+                }
+            }
+        }
+
+        drop(links);
+        for handle in handles {
+            if handle.join().is_err() {
+                failed = true;
+            }
+        }
+        if failed {
+            return Err(RuntimeError::WorkerPanicked("fleet worker"));
+        }
+
+        let nodes: Vec<FleetNodeReport> =
+            node_reports.into_iter().map(|r| r.expect("every node reported")).collect();
+        aggregate(nodes, boundaries.len() as u64)
+    }
+
+    /// Runs a single node of the fleet inline on the calling thread, with the
+    /// same per-node seed and the same epoch segmentation as [`run`] — the
+    /// resulting [`FleetNodeReport`] is byte-identical to the corresponding
+    /// entry of a full fleet run. Useful for debugging one server of a large
+    /// fleet and for testing that fleet aggregation is exactly the fold of
+    /// per-node reports.
+    ///
+    /// [`run`]: Self::run
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero and
+    /// [`RuntimeError::InvalidConfig`] if `index` is out of range.
+    pub fn run_node(
+        &self,
+        index: usize,
+        horizon: SimDuration,
+    ) -> Result<FleetNodeReport, RuntimeError> {
+        if horizon.is_zero() {
+            return Err(RuntimeError::EmptyHorizon);
+        }
+        if index >= self.config.nodes {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "node index {index} out of range for a {}-node fleet",
+                self.config.nodes
+            )));
+        }
+        let seed = self.node_seed(index);
+        let mut runtime = self.recipe.instantiate(&seed);
+        for &boundary in &epoch_boundaries(horizon, self.config.epoch) {
+            runtime.run_until(boundary);
+        }
+        Ok(summarize(&self.recipe, seed, runtime))
+    }
+}
+
+/// The epoch grid: `epoch, 2·epoch, …` clamped to the horizon, ending
+/// exactly at the horizon.
+fn epoch_boundaries(horizon: SimDuration, epoch: SimDuration) -> Vec<Timestamp> {
+    let end = Timestamp::ZERO + horizon;
+    let mut boundaries = Vec::new();
+    let mut t = Timestamp::ZERO;
+    loop {
+        t = t.saturating_add(epoch).min(end);
+        boundaries.push(t);
+        if t >= end {
+            return boundaries;
+        }
+    }
+}
+
+/// Worker body: advance every owned node to each epoch boundary, barrier,
+/// repeat; then finish the nodes and ship their summaries home.
+fn worker<E: Environment + 'static>(
+    recipe: ScenarioRecipe<E>,
+    seeds: Vec<NodeSeed>,
+    boundaries: Vec<Timestamp>,
+    proceed_rx: Receiver<()>,
+    done_tx: Sender<WorkerMsg>,
+) {
+    let mut nodes: Vec<(NodeSeed, NodeRuntime<E>)> =
+        seeds.into_iter().map(|seed| (seed, recipe.instantiate(&seed))).collect();
+    for (k, &boundary) in boundaries.iter().enumerate() {
+        for (_, runtime) in &mut nodes {
+            runtime.run_until(boundary);
+        }
+        if done_tx.send(WorkerMsg::EpochDone).is_err() {
+            return;
+        }
+        // The coordinator releases the barrier; a closed channel means the
+        // run was aborted (another worker died) — exit quietly.
+        if k + 1 < boundaries.len() && proceed_rx.recv().is_err() {
+            return;
+        }
+    }
+    let reports =
+        nodes.into_iter().map(|(seed, runtime)| summarize(&recipe, seed, runtime)).collect();
+    let _ = done_tx.send(WorkerMsg::Finished(reports));
+}
+
+/// Finishes one node and boils its report down to the `Send`-able summary
+/// the coordinator aggregates (stats + recipe-extracted metrics).
+fn summarize<E: Environment + 'static>(
+    recipe: &ScenarioRecipe<E>,
+    seed: NodeSeed,
+    runtime: NodeRuntime<E>,
+) -> FleetNodeReport {
+    let report = runtime.finish();
+    let metrics = recipe.extract_metrics(&report);
+    let agents = report
+        .agents
+        .iter()
+        .map(|a| FleetAgentReport { name: a.name.clone(), stats: a.stats.clone() })
+        .collect();
+    FleetNodeReport {
+        node: seed.index() as usize,
+        seed: seed.seed(),
+        agents,
+        metrics,
+        ended_at: report.ended_at,
+    }
+}
+
+/// Folds per-node reports (already in index order) into the fleet dashboard.
+fn aggregate(nodes: Vec<FleetNodeReport>, epochs: u64) -> Result<FleetReport, RuntimeError> {
+    let first = &nodes[0];
+    for node in &nodes[1..] {
+        let matches = node.agents.len() == first.agents.len()
+            && node.agents.iter().zip(&first.agents).all(|(a, b)| a.name == b.name);
+        if !matches {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "recipe produced differing agent populations: node 0 has {:?}, node {} has {:?}",
+                first.agents.iter().map(|a| &a.name).collect::<Vec<_>>(),
+                node.node,
+                node.agents.iter().map(|a| &a.name).collect::<Vec<_>>(),
+            )));
+        }
+        // Metric summaries are fleet-wide means/totals, so a node silently
+        // dropping a metric would skew them; fail as loudly as a population
+        // mismatch does.
+        let metrics_match = node.metrics.len() == first.metrics.len()
+            && node.metrics.iter().zip(&first.metrics).all(|((a, _), (b, _))| a == b);
+        if !metrics_match {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "recipe produced differing metric sets: node 0 has {:?}, node {} has {:?}",
+                first.metrics.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                node.node,
+                node.metrics.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )));
+        }
+    }
+
+    let roles = (0..first.agents.len())
+        .map(|role| {
+            let mut totals = AgentStats::default();
+            let mut activated = 0usize;
+            let mut epochs_completed = Vec::with_capacity(nodes.len());
+            let mut actions = Vec::with_capacity(nodes.len());
+            let mut triggers = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let stats = &node.agents[role].stats;
+                totals.accumulate(stats);
+                if stats.actuator.safeguard_triggers > 0 || stats.model.intercepted_predictions > 0
+                {
+                    activated += 1;
+                }
+                epochs_completed.push(stats.model.epochs_completed as f64);
+                actions.push(stats.actions_taken() as f64);
+                triggers.push(stats.actuator.safeguard_triggers as f64);
+            }
+            RoleAggregate {
+                name: first.agents[role].name.clone(),
+                nodes: nodes.len(),
+                totals,
+                safeguard_activation_rate: activated as f64 / nodes.len() as f64,
+                epochs_completed: Percentiles::of(&epochs_completed),
+                actions_taken: Percentiles::of(&actions),
+                safeguard_triggers: Percentiles::of(&triggers),
+            }
+        })
+        .collect();
+
+    // Metric summaries in the recipe's emission order; every node reports
+    // the same names at the same positions (validated above), and values are
+    // folded in node order so the layout is scheduling-independent.
+    let metrics = first
+        .metrics
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            let values: Vec<f64> = nodes.iter().map(|n| n.metrics[i].1).collect();
+            let total: f64 = values.iter().sum();
+            MetricSummary {
+                name: name.clone(),
+                nodes: values.len(),
+                total,
+                mean: total / values.len() as f64,
+                min: values.iter().copied().fold(f64::INFINITY, f64::min),
+                max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
+
+    let ended_at = nodes[0].ended_at;
+    Ok(FleetReport { nodes, roles, metrics, ended_at, epochs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::node::NodeRuntime;
+    use crate::runtime::testutil::{schedule, ConstModel, CountActuator, StepEnv};
+
+    /// Renders a value's full Debug output as bytes for exact comparison.
+    fn debug_bytes<T: std::fmt::Debug>(value: &T) -> Vec<u8> {
+        format!("{value:#?}").into_bytes()
+    }
+
+    /// A two-agent recipe whose per-node collect interval is derived from the
+    /// node seed, so nodes are heterogeneous but deterministic.
+    fn heterogeneous_recipe() -> ScenarioRecipe<StepEnv> {
+        ScenarioRecipe::new(|seed: &NodeSeed| {
+            let mut builder = NodeRuntime::builder(StepEnv::default());
+            let interval = 50 + seed.stream(0) % 100;
+            builder.agent("fast", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(interval)
+            });
+            builder.agent("slow", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(2 * interval)
+            });
+            builder.build()
+        })
+        .with_metrics(|report| vec![("advances".into(), report.environment.advances as f64)])
+    }
+
+    #[test]
+    fn node_seeds_are_unique_and_deterministic() {
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..4096 {
+            let seed = NodeSeed::derive(7, index);
+            assert!(seen.insert(seed.seed()), "seed collision at node {index}");
+            assert_eq!(seed.seed(), NodeSeed::derive(7, index).seed());
+        }
+        // Streams of one node are distinct too.
+        let node = NodeSeed::derive(7, 3);
+        assert_ne!(node.stream(0), node.stream(1));
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let bad = |config: FleetConfig| {
+            matches!(
+                FleetRuntime::new(heterogeneous_recipe(), config),
+                Err(RuntimeError::InvalidConfig(_))
+            )
+        };
+        assert!(bad(FleetConfig { nodes: 0, ..FleetConfig::default() }));
+        assert!(bad(FleetConfig { threads: 0, ..FleetConfig::default() }));
+        assert!(bad(FleetConfig { epoch: SimDuration::ZERO, ..FleetConfig::default() }));
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), FleetConfig::default()).unwrap();
+        assert!(matches!(fleet.run(SimDuration::ZERO), Err(RuntimeError::EmptyHorizon)));
+    }
+
+    #[test]
+    fn epoch_grid_clamps_to_the_horizon() {
+        let grid = epoch_boundaries(SimDuration::from_secs(10), SimDuration::from_secs(3));
+        assert_eq!(
+            grid,
+            vec![
+                Timestamp::from_secs(3),
+                Timestamp::from_secs(6),
+                Timestamp::from_secs(9),
+                Timestamp::from_secs(10),
+            ]
+        );
+        // An epoch longer than the horizon degenerates to one boundary.
+        let grid = epoch_boundaries(SimDuration::from_secs(2), SimDuration::from_secs(60));
+        assert_eq!(grid, vec![Timestamp::from_secs(2)]);
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let config = FleetConfig { nodes: 11, threads, ..FleetConfig::default() };
+            let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+            debug_bytes(&fleet.run(SimDuration::from_secs(7)).unwrap())
+        };
+        let single = run(1);
+        assert_eq!(single, run(2));
+        assert_eq!(single, run(8));
+        // More threads than nodes clamps rather than erroring.
+        assert_eq!(single, run(64));
+    }
+
+    #[test]
+    fn fleet_run_equals_the_fold_of_run_node() {
+        let config = FleetConfig { nodes: 6, threads: 3, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        let horizon = SimDuration::from_secs(5);
+        let report = fleet.run(horizon).unwrap();
+        for index in 0..6 {
+            let solo = fleet.run_node(index, horizon).unwrap();
+            assert_eq!(debug_bytes(&report.nodes[index]), debug_bytes(&solo));
+        }
+        assert!(matches!(fleet.run_node(6, horizon), Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn seeds_make_nodes_heterogeneous() {
+        let config = FleetConfig { nodes: 8, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        let report = fleet.run(SimDuration::from_secs(10)).unwrap();
+        let epochs: std::collections::HashSet<u64> =
+            report.nodes.iter().map(|n| n.agents[0].stats.model.epochs_completed).collect();
+        assert!(epochs.len() > 1, "per-node seeds must differentiate the nodes");
+        // ...and the dashboards reflect the spread.
+        let role = &report.roles[0];
+        assert_eq!(role.name, "fast");
+        assert_eq!(role.nodes, 8);
+        assert!(role.epochs_completed.max > role.epochs_completed.min);
+        assert_eq!(
+            role.totals.model.epochs_completed,
+            report.nodes.iter().map(|n| n.agents[0].stats.model.epochs_completed).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn metrics_aggregate_across_nodes() {
+        let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        let report = fleet.run(SimDuration::from_secs(3)).unwrap();
+        let summary = report.metric("advances").expect("recipe reports advances");
+        assert_eq!(summary.nodes, 4);
+        assert!(summary.total > 0.0);
+        assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+        assert!((summary.mean - summary.total / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn role_lookup_is_keyed_by_handle_position() {
+        // Capture handles from a probe assembly; they are valid fleet-wide.
+        let mut probe = NodeRuntime::builder(StepEnv::default());
+        let fast =
+            probe.agent("fast", ConstModel { value: 1.0 }, CountActuator::default(), schedule(80));
+        let slow =
+            probe.agent("slow", ConstModel { value: 2.0 }, CountActuator::default(), schedule(160));
+        drop(probe);
+
+        let config = FleetConfig { nodes: 3, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        let report = fleet.run(SimDuration::from_secs(4)).unwrap();
+        assert_eq!(report.role(fast).name, "fast");
+        assert_eq!(report.role(slow).name, "slow");
+        assert!(report.try_role(AgentId::from(fast)).is_ok());
+    }
+
+    #[test]
+    fn differing_populations_are_rejected() {
+        let recipe = ScenarioRecipe::new(|seed: &NodeSeed| {
+            let mut builder = NodeRuntime::builder(StepEnv::default());
+            builder.agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+            if seed.index() % 2 == 1 {
+                builder.agent("b", ConstModel { value: 1.0 }, CountActuator::default(), {
+                    schedule(100)
+                });
+            }
+            builder.build()
+        });
+        let config = FleetConfig { nodes: 2, threads: 1, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(recipe, config).unwrap();
+        assert!(matches!(
+            fleet.run(SimDuration::from_secs(1)),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn differing_metric_sets_are_rejected() {
+        let recipe = ScenarioRecipe::new(|seed: &NodeSeed| {
+            let env = StepEnv { fault: seed.index() % 2 == 1, ..StepEnv::default() };
+            let mut builder = NodeRuntime::builder(env);
+            builder.agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+            builder.build()
+        })
+        .with_metrics(|report| {
+            // A metric that only some nodes report would silently skew the
+            // fleet-wide summaries; the aggregator must reject it.
+            if report.environment.fault {
+                Vec::new()
+            } else {
+                vec![("advances".into(), report.environment.advances as f64)]
+            }
+        });
+        let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(recipe, config).unwrap();
+        let result = fleet.run(SimDuration::from_secs(1));
+        assert!(matches!(result, Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_runtime_error() {
+        let recipe = ScenarioRecipe::new(|seed: &NodeSeed| {
+            assert!(seed.index() != 1, "node 1 is cursed");
+            let mut builder = NodeRuntime::builder(StepEnv::default());
+            builder.agent("a", ConstModel { value: 1.0 }, CountActuator::default(), schedule(100));
+            builder.build()
+        });
+        let config = FleetConfig { nodes: 3, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(recipe, config).unwrap();
+        assert!(matches!(
+            fleet.run(SimDuration::from_secs(1)),
+            Err(RuntimeError::WorkerPanicked("fleet worker"))
+        ));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let p = Percentiles::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.p90, 4.0);
+        assert_eq!(p.max, 4.0);
+        let single = Percentiles::of(&[5.0]);
+        assert_eq!(single.p50, 5.0);
+        assert_eq!(single.p99, 5.0);
+    }
+}

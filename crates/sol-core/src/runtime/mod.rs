@@ -1,6 +1,6 @@
 //! Runtimes that schedule and execute agents' Model and Actuator loops.
 //!
-//! Three drivers are provided:
+//! Four drivers are provided:
 //!
 //! * [`NodeRuntime`](node::NodeRuntime) — the multi-agent discrete-event
 //!   driver: a binary-heap event queue (agent wakes and interventions as
@@ -13,6 +13,13 @@
 //!   ([`NodeRuntime::builder`](node::NodeRuntime::builder)), whose
 //!   [`AgentHandle`](builder::AgentHandle)s give downcast-free access to the
 //!   final report.
+//! * [`FleetRuntime`](fleet::FleetRuntime) — the scale layer: stamps out *N*
+//!   nodes from a [`ScenarioRecipe`](builder::ScenarioRecipe) (seeded per
+//!   node via [`NodeSeed`](fleet::NodeSeed)), shards them across a
+//!   worker-thread pool synchronized on epoch boundaries of one virtual
+//!   clock, and aggregates per-node stats into a
+//!   [`FleetReport`](fleet::FleetReport) of fleet-level safety dashboards.
+//!   Reports are byte-identical regardless of the worker-thread count.
 //! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
 //!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
 //!   historical single-agent results exactly.
@@ -26,6 +33,7 @@
 //! a recorded action trace.
 
 pub mod builder;
+pub mod fleet;
 pub mod node;
 pub mod replay;
 pub mod sim;

@@ -444,6 +444,12 @@ pub struct NodeRuntime<E: Environment + 'static> {
     /// heap entry per tick on the hot path.
     env_step_at: Timestamp,
     cleanup_on_finish: bool,
+    /// Whether the first [`run_until`](Self::run_until) segment already
+    /// scheduled the initial agent wakes and environment-step boundary.
+    started: bool,
+    /// Agents touched by the current tick's events; reused across ticks and
+    /// across [`run_until`](Self::run_until) segments.
+    touched: Vec<usize>,
 }
 
 impl<E: Environment + 'static> NodeRuntime<E> {
@@ -460,6 +466,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             env_step_overridden: false,
             env_step_at: Timestamp::MAX,
             cleanup_on_finish: false,
+            started: false,
+            touched: Vec::new(),
         }
     }
 
@@ -500,6 +508,11 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     }
 
     /// Registers a pre-built driver under `name` and returns its id.
+    ///
+    /// Registration is also valid *between* [`run_until`](Self::run_until)
+    /// segments: a late-joining agent is scheduled immediately and starts
+    /// participating from the next segment (its loops begin at the current
+    /// virtual time, set when the driver was constructed).
     pub fn register_driver(
         &mut self,
         name: impl Into<String>,
@@ -507,6 +520,11 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     ) -> AgentId {
         let id = AgentId(self.agents.len());
         self.agents.push(AgentSlot { name: name.into(), driver, gen: 0, scheduled_at: None });
+        if self.started {
+            // The initial wake pass in `run_until` already ran; schedule the
+            // newcomer now so it cannot sit inert for the rest of the run.
+            self.schedule_wake(id.0);
+        }
         id
     }
 
@@ -666,6 +684,11 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// Runs all agents for `horizon` of virtual time and returns the final
     /// state of the environment and every agent.
     ///
+    /// Equivalent to [`run_until`](Self::run_until) up to `now + horizon`
+    /// followed by [`finish`](Self::finish); use those directly to run in
+    /// segments (the fleet runtime advances every node epoch by epoch under
+    /// one virtual clock).
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero.
@@ -674,17 +697,30 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             return Err(RuntimeError::EmptyHorizon);
         }
         let end = self.clock.now() + horizon;
+        self.run_until(end);
+        Ok(self.finish())
+    }
 
-        for idx in 0..self.agents.len() {
-            self.schedule_wake(idx);
+    /// Advances the simulation to virtual time `end` (a no-op if `end` is not
+    /// in the future), leaving the runtime resumable: event queue, pending
+    /// interventions, and per-agent state all carry over into the next
+    /// segment, so consecutive `run_until` calls behave like one continuous
+    /// run whose environment is additionally advanced at each segment
+    /// boundary.
+    pub fn run_until(&mut self, end: Timestamp) {
+        if !self.started {
+            for idx in 0..self.agents.len() {
+                self.schedule_wake(idx);
+            }
+            self.env_step_at = self.clock.now() + self.max_env_step;
+            self.started = true;
         }
-        self.env_step_at = self.clock.now() + self.max_env_step;
 
         // Agents touched by this tick's events (wakes popped, delays
         // applied); only they are step-checked and rescheduled, so a tick
         // costs O(events at that time), not O(agents). The buffer is reused
         // across every tick of the run.
-        let mut touched: Vec<usize> = Vec::with_capacity(self.agents.len());
+        let mut touched = std::mem::take(&mut self.touched);
 
         loop {
             let now = self.clock.now();
@@ -762,6 +798,13 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             self.env_step_at = next + self.max_env_step;
         }
 
+        self.touched = touched;
+    }
+
+    /// Consumes the runtime and returns the final state of the environment
+    /// and every agent, running clean-up routines first when
+    /// [`cleanup_on_finish`](Self::cleanup_on_finish) was requested.
+    pub fn finish(mut self) -> NodeReport<E> {
         let ended_at = self.clock.now();
         if self.cleanup_on_finish {
             for slot in &mut self.agents {
@@ -779,7 +822,7 @@ impl<E: Environment + 'static> NodeRuntime<E> {
                 driver: slot.driver,
             })
             .collect();
-        Ok(NodeReport { environment: self.environment, agents, ended_at })
+        NodeReport { environment: self.environment, agents, ended_at }
     }
 }
 
@@ -967,6 +1010,79 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn segmented_run_until_matches_run_for() {
+        // NullEnvironment: segment boundaries add environment advances but no
+        // observable state, so a segmented run must reproduce run_for exactly
+        // — including an intervention spanning a segment boundary.
+        let build = || {
+            let mut rt = NodeRuntime::new(NullEnvironment);
+            let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+            let b = rt.register_agent("b", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(70)
+            });
+            rt.delay_model_at(a, Timestamp::from_secs(2), SimDuration::from_secs(2));
+            (rt, a, b)
+        };
+
+        let (rt, a, b) = build();
+        let full = rt.run_for(SimDuration::from_secs(7)).unwrap();
+
+        let (mut rt, a2, b2) = build();
+        for secs in [1, 3, 6, 7] {
+            rt.run_until(Timestamp::from_secs(secs));
+        }
+        // A non-advancing segment must be a no-op.
+        rt.run_until(Timestamp::from_secs(5));
+        let segmented = rt.finish();
+
+        assert_eq!(
+            format!("{:#?}", full.agent_report(a).unwrap().stats),
+            format!("{:#?}", segmented.agent_report(a2).unwrap().stats),
+        );
+        assert_eq!(
+            format!("{:#?}", full.agent_report(b).unwrap().stats),
+            format!("{:#?}", segmented.agent_report(b2).unwrap().stats),
+        );
+        assert_eq!(full.ended_at, segmented.ended_at);
+    }
+
+    #[test]
+    fn agents_registered_between_segments_participate() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let early = rt.register_agent(
+            "early",
+            ConstModel { value: 1.0 },
+            CountActuator::default(),
+            schedule(100),
+        );
+        rt.run_until(Timestamp::from_secs(2));
+        // A late joiner must be scheduled immediately, not sit inert.
+        let late =
+            rt.register_agent("late", ConstModel { value: 2.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+        rt.run_until(Timestamp::from_secs(4));
+        let report = rt.finish();
+        assert_eq!(report.agent_report(early).unwrap().stats.model.epochs_completed, 8);
+        // The late agent's loops started at t=2s, so it completes the
+        // remaining two seconds' worth of epochs.
+        assert_eq!(report.agent_report(late).unwrap().stats.model.epochs_completed, 4);
+    }
+
+    #[test]
+    fn finish_without_running_reports_zeroed_agents() {
+        let mut rt = NodeRuntime::new(NullEnvironment);
+        let a = rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+            schedule(100)
+        });
+        let report = rt.finish();
+        assert_eq!(report.ended_at, Timestamp::ZERO);
+        assert_eq!(report.agent_report(a).unwrap().stats.model.epochs_completed, 0);
     }
 
     #[test]

@@ -51,9 +51,14 @@ pub struct ReplayDriver<E, T> {
     trace: Vec<ReplayEntry<T>>,
     apply: ApplyFn<E, T>,
     cursor: usize,
-    /// Interventions can push the whole replay back; actions then apply late,
-    /// at the delayed tick, with their original payloads.
-    delayed_until: Option<Timestamp>,
+    /// Actuator-delay interventions push the replay back; actions then apply
+    /// late, at the delayed tick, with their original payloads.
+    actuator_delayed_until: Option<Timestamp>,
+    /// Model-delay interventions are tracked separately and do *not* stall
+    /// the replay: the trace holds already-made decisions, so a replay agent
+    /// has no Model loop to delay. Kept observable so experiments can verify
+    /// which intervention kind hit the driver.
+    model_delayed_until: Option<Timestamp>,
     actions_replayed: u64,
     cleanups: u64,
 }
@@ -70,7 +75,8 @@ impl<E, T> ReplayDriver<E, T> {
             trace,
             apply: Box::new(apply),
             cursor: 0,
-            delayed_until: None,
+            actuator_delayed_until: None,
+            model_delayed_until: None,
             actions_replayed: 0,
             cleanups: 0,
         }
@@ -79,6 +85,14 @@ impl<E, T> ReplayDriver<E, T> {
     /// Number of actions replayed so far.
     pub fn actions_replayed(&self) -> u64 {
         self.actions_replayed
+    }
+
+    /// The expiry of the latest Model-delay intervention aimed at this
+    /// driver, if any. Model delays are recorded but never stall the replay
+    /// (a trace of already-made decisions has no Model loop to delay); only
+    /// Actuator delays postpone actions.
+    pub fn model_delayed_until(&self) -> Option<Timestamp> {
+        self.model_delayed_until
     }
 
     /// Number of actions still pending.
@@ -111,18 +125,23 @@ where
             Some(entry) => entry.at,
             None => return Timestamp::MAX,
         };
-        match self.delayed_until {
+        match self.actuator_delayed_until {
             Some(until) => due.max(until),
             None => due,
         }
     }
 
     fn step(&mut self, now: Timestamp, env: &mut E) {
-        if let Some(until) = self.delayed_until {
+        if let Some(until) = self.actuator_delayed_until {
             if now < until {
                 return;
             }
-            self.delayed_until = None;
+            self.actuator_delayed_until = None;
+        }
+        if let Some(until) = self.model_delayed_until {
+            if now >= until {
+                self.model_delayed_until = None;
+            }
         }
         while self.trace.get(self.cursor).map(|e| e.at <= now).unwrap_or(false) {
             let entry = &self.trace[self.cursor];
@@ -132,14 +151,19 @@ where
         }
     }
 
-    /// A replay has no Model loop; model delays postpone the whole replay,
-    /// like actuator delays.
+    /// Model delays are tracked (see
+    /// [`model_delayed_until`](ReplayDriver::model_delayed_until)) but do not
+    /// stall actuation replay: the two intervention kinds are kept separate,
+    /// so a model-only delay never postpones recorded actions.
     fn delay_model(&mut self, until: Timestamp) {
-        self.delay_actuator(until);
+        self.model_delayed_until = Some(match self.model_delayed_until {
+            Some(cur) if cur > until => cur,
+            _ => until,
+        });
     }
 
     fn delay_actuator(&mut self, until: Timestamp) {
-        self.delayed_until = Some(match self.delayed_until {
+        self.actuator_delayed_until = Some(match self.actuator_delayed_until {
             Some(cur) if cur > until => cur,
             _ => until,
         });
@@ -264,6 +288,76 @@ mod tests {
         assert_eq!(replayed[0].0, Timestamp::from_millis(4_500));
         assert_eq!(replayed[3], (Timestamp::from_secs(6), 40));
         assert!(report.driver(driver).finished());
+    }
+
+    #[test]
+    fn overlapping_model_and_actuator_delays_stay_separate() {
+        // A long model delay overlapping a short actuator delay: only the
+        // actuator delay may stall the replay. Before the fix both kinds
+        // collapsed into one `delayed_until`, so the model delay pushed
+        // actuation replay all the way to its own (later) expiry.
+        let env = RecordingEnv::default();
+        let seen = env.seen.clone();
+        let mut builder = NodeRuntime::builder(env);
+        let driver = builder.driver(
+            "replay",
+            ReplayDriver::new(trace(), move |env: &mut RecordingEnv, now, action| {
+                env.seen.lock().unwrap().push((now, *action));
+            }),
+        );
+        let mut runtime = builder.build();
+        // Model delay until t=9.5s; actuator delay until t=2.5s.
+        runtime.delay_model_at(driver, Timestamp::from_millis(500), SimDuration::from_secs(9));
+        runtime.delay_actuator_at(driver, Timestamp::from_millis(500), SimDuration::from_secs(2));
+        let report = runtime.run_for(SimDuration::from_secs(10)).unwrap();
+        let replayed = seen.lock().unwrap().clone();
+        assert_eq!(replayed.len(), 4, "no action may be dropped");
+        // The t=1s action applies when the *actuator* delay expires...
+        assert_eq!(replayed[0], (Timestamp::from_millis(2_500), 10));
+        // ...and later actions are back on schedule despite the model delay
+        // still being in flight.
+        assert_eq!(replayed[1], (Timestamp::from_secs(3), 20));
+        assert_eq!(replayed[3], (Timestamp::from_secs(6), 40));
+        assert!(report.driver(driver).finished());
+        // The model delay stayed tracked (the exhausted driver never woke
+        // after its 9.5 s expiry, so the record is still visible) without
+        // ever influencing the replay.
+        assert_eq!(
+            report.driver(driver).model_delayed_until(),
+            Some(Timestamp::from_millis(9_500))
+        );
+    }
+
+    #[test]
+    fn model_delay_alone_does_not_stall_the_replay() {
+        let env = RecordingEnv::default();
+        let seen = env.seen.clone();
+        let mut builder = NodeRuntime::builder(env);
+        let driver = builder.driver(
+            "replay",
+            ReplayDriver::new(trace(), move |env: &mut RecordingEnv, now, action| {
+                env.seen.lock().unwrap().push((now, *action));
+            }),
+        );
+        let mut runtime = builder.build();
+        runtime.delay_model_at(driver, Timestamp::from_millis(500), SimDuration::from_secs(30));
+        let report = runtime.run_for(SimDuration::from_secs(10)).unwrap();
+        let replayed = seen.lock().unwrap().clone();
+        assert_eq!(
+            replayed,
+            vec![
+                (Timestamp::from_secs(1), 10),
+                (Timestamp::from_secs(3), 20),
+                (Timestamp::from_secs(3), 30),
+                (Timestamp::from_secs(6), 40),
+            ],
+            "a model-only delay must not move any recorded action"
+        );
+        // Still tracked as in-flight at the horizon.
+        assert_eq!(
+            report.driver(driver).model_delayed_until(),
+            Some(Timestamp::from_millis(30_500))
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! underperforming. This runtime uses wall-clock time; experiments use the
 //! deterministic [`SimRuntime`](crate::runtime::sim::SimRuntime) instead.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
@@ -49,15 +49,45 @@ pub struct ThreadedAgent<M: Model, A: Actuator<Pred = M::Pred>> {
     actuator_thread: Option<JoinHandle<(A, crate::stats::ActuatorLoopStats)>>,
 }
 
-/// Joins `handle` if it finishes before `deadline`; otherwise detaches it.
-fn join_by_deadline<T>(handle: JoinHandle<T>, deadline: std::time::Instant) {
+/// Process-wide count of control-loop threads that missed their drop
+/// deadline and were detached. See [`leaked_threads`].
+static LEAKED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of control-loop threads that, over the life of this process, missed
+/// the [`ThreadedAgent`] drop deadline and were detached (still running,
+/// unobservable through any report). A non-zero value means an agent loop
+/// wedged — the silent-leak failure mode this counter makes visible.
+pub fn leaked_threads() -> u64 {
+    LEAKED_THREADS.load(Ordering::Relaxed)
+}
+
+/// What [`join_by_deadline`] did with the thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinOutcome {
+    /// The thread exited in time and was joined.
+    Joined,
+    /// The thread missed the deadline and was detached (leaked).
+    Leaked,
+}
+
+/// Joins `handle` if it finishes before `deadline`; otherwise detaches it,
+/// bumping the process-wide [`leaked_threads`] counter and logging the leak
+/// so wedged agents are observable instead of silent.
+fn join_by_deadline<T>(handle: JoinHandle<T>, deadline: std::time::Instant) -> JoinOutcome {
     while !handle.is_finished() {
         if std::time::Instant::now() >= deadline {
-            return;
+            let name = handle.thread().name().unwrap_or("<unnamed>").to_string();
+            let leaked_so_far = LEAKED_THREADS.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "sol-core: control-loop thread {name:?} missed its drop deadline and was detached \
+                 ({leaked_so_far} leaked so far)"
+            );
+            return JoinOutcome::Leaked;
         }
         thread::sleep(std::time::Duration::from_millis(1));
     }
     let _ = handle.join();
+    JoinOutcome::Joined
 }
 
 impl<M, A> ThreadedAgent<M, A>
@@ -271,6 +301,31 @@ mod tests {
         assert!(report.actuator.actions >= 1);
         assert!(report.actuator.cleaned);
         assert_eq!(report.stats.actuator.cleanups, 1);
+    }
+
+    #[test]
+    fn missed_deadline_is_counted_as_a_leak() {
+        let before = leaked_threads();
+        let wedged = thread::Builder::new()
+            .name("sol-wedged".into())
+            .spawn(|| thread::sleep(std::time::Duration::from_millis(300)))
+            .unwrap();
+        let outcome = join_by_deadline(
+            wedged,
+            std::time::Instant::now() + std::time::Duration::from_millis(10),
+        );
+        assert_eq!(outcome, JoinOutcome::Leaked, "a wedged thread must be detached");
+        assert!(leaked_threads() > before, "the leak must be counted, not silent");
+
+        // A healthy thread joins in time and leaves the counter alone.
+        let after_leak = leaked_threads();
+        let healthy = thread::spawn(|| {});
+        let outcome = join_by_deadline(
+            healthy,
+            std::time::Instant::now() + std::time::Duration::from_secs(5),
+        );
+        assert_eq!(outcome, JoinOutcome::Joined);
+        assert_eq!(leaked_threads(), after_leak);
     }
 
     #[test]

@@ -69,6 +69,70 @@ pub struct ActuatorLoopStats {
     pub halted_time: SimDuration,
 }
 
+impl ModelLoopStats {
+    /// Adds another loop's counters onto this one, field by field (used by
+    /// fleet-level aggregation). The exhaustive destructuring (no `..`)
+    /// makes adding a field without accumulating it a compile error.
+    pub fn accumulate(&mut self, other: &ModelLoopStats) {
+        let ModelLoopStats {
+            samples_committed,
+            samples_discarded,
+            collect_errors,
+            epochs_completed,
+            epochs_short_circuited,
+            model_predictions,
+            default_predictions,
+            intercepted_predictions,
+            model_assessments,
+            model_assessment_failures,
+        } = other;
+        self.samples_committed += samples_committed;
+        self.samples_discarded += samples_discarded;
+        self.collect_errors += collect_errors;
+        self.epochs_completed += epochs_completed;
+        self.epochs_short_circuited += epochs_short_circuited;
+        self.model_predictions += model_predictions;
+        self.default_predictions += default_predictions;
+        self.intercepted_predictions += intercepted_predictions;
+        self.model_assessments += model_assessments;
+        self.model_assessment_failures += model_assessment_failures;
+    }
+}
+
+impl ActuatorLoopStats {
+    /// Adds another loop's counters onto this one, field by field (used by
+    /// fleet-level aggregation). The exhaustive destructuring (no `..`)
+    /// makes adding a field without accumulating it a compile error.
+    pub fn accumulate(&mut self, other: &ActuatorLoopStats) {
+        let ActuatorLoopStats {
+            actions_with_model_prediction,
+            actions_with_default_prediction,
+            actions_without_prediction,
+            expired_predictions,
+            superseded_predictions,
+            predictions_dropped_while_halted,
+            actuation_timeouts,
+            performance_assessments,
+            safeguard_triggers,
+            mitigations,
+            cleanups,
+            halted_time,
+        } = other;
+        self.actions_with_model_prediction += actions_with_model_prediction;
+        self.actions_with_default_prediction += actions_with_default_prediction;
+        self.actions_without_prediction += actions_without_prediction;
+        self.expired_predictions += expired_predictions;
+        self.superseded_predictions += superseded_predictions;
+        self.predictions_dropped_while_halted += predictions_dropped_while_halted;
+        self.actuation_timeouts += actuation_timeouts;
+        self.performance_assessments += performance_assessments;
+        self.safeguard_triggers += safeguard_triggers;
+        self.mitigations += mitigations;
+        self.cleanups += cleanups;
+        self.halted_time += *halted_time;
+    }
+}
+
 /// Combined statistics for one agent run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgentStats {
@@ -79,6 +143,15 @@ pub struct AgentStats {
 }
 
 impl AgentStats {
+    /// Adds another agent's counters onto this one, field by field (used by
+    /// fleet-level aggregation). The exhaustive destructuring (no `..`)
+    /// makes adding a field without accumulating it a compile error.
+    pub fn accumulate(&mut self, other: &AgentStats) {
+        let AgentStats { model, actuator } = other;
+        self.model.accumulate(model);
+        self.actuator.accumulate(actuator);
+    }
+
     /// Total predictions forwarded to the Actuator loop.
     pub fn predictions_forwarded(&self) -> u64 {
         self.model.model_predictions + self.model.default_predictions

@@ -54,6 +54,16 @@ impl Default for CpuNodeConfig {
     }
 }
 
+impl CpuNodeConfig {
+    /// Returns the config with its fault-injection RNG reseeded — the hook
+    /// fleet recipes use to give every simulated server an independent
+    /// random stream (per-node seed derivation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// One point of the frequency/power trace kept for time-series figures
 /// (Figure 5).
 #[derive(Debug, Clone, Copy, PartialEq)]

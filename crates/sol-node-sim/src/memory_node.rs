@@ -151,6 +151,16 @@ impl Default for MemoryNodeConfig {
     }
 }
 
+impl MemoryNodeConfig {
+    /// Returns the config with its access-sampling RNG reseeded — the hook
+    /// fleet recipes use to give every simulated server an independent
+    /// random stream (per-node seed derivation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// A per-second sample of the remote-access fraction, kept for time-series
 /// figures (Figure 8).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

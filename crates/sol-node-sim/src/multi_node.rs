@@ -74,7 +74,12 @@ use crate::shared::Shared;
 
 /// A declared physical interaction between two substrates of a [`MultiNode`],
 /// applied before every environment advance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The declaration order of couplings never matters: [`MultiNodeBuilder::build`]
+/// canonicalizes them into this enum's variant order, so two nodes declaring
+/// the same coupling *set* behave identically (and future couplings that
+/// write overlapping state stay deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum Coupling {
     /// Core frequency → harvest-side primary VM demand: overclocked cores
@@ -143,13 +148,15 @@ impl MultiNodeBuilder {
     }
 
     /// Validates that every declared coupling has its substrates and returns
-    /// the composed node.
+    /// the composed node, with the couplings canonicalized into [`Coupling`]
+    /// variant order so that declaration order can never change results.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] if a coupling references a
     /// substrate that was not registered.
-    pub fn build(self) -> Result<MultiNode, RuntimeError> {
+    pub fn build(mut self) -> Result<MultiNode, RuntimeError> {
+        self.couplings.sort_unstable();
         for &coupling in &self.couplings {
             let satisfied = match coupling {
                 Coupling::FrequencyToDemand => self.cpu.is_some() && self.harvest.is_some(),
@@ -215,7 +222,7 @@ impl MultiNode {
         self.memory.as_ref()
     }
 
-    /// The declared couplings.
+    /// The declared couplings, in canonical (variant) order.
     pub fn couplings(&self) -> &[Coupling] {
         &self.couplings
     }
@@ -367,6 +374,48 @@ mod tests {
         let err =
             MultiNode::builder().cpu(cpu()).coupling(Coupling::FrequencyToMemoryBandwidth).build();
         assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn coupling_declaration_order_is_canonicalized_and_irrelevant() {
+        // Assemble the same fully-coupled node with the two possible
+        // declaration orders and drive both through an identical frequency
+        // trajectory: the applied state must match exactly, and both nodes
+        // must expose the same canonical coupling list.
+        let run = |reversed: bool| {
+            let (c, h, m) = (cpu(), harvest(), memory());
+            let builder = MultiNode::builder().cpu(c.clone()).harvest(h.clone()).memory(m.clone());
+            let builder = if reversed {
+                builder
+                    .coupling(Coupling::FrequencyToMemoryBandwidth)
+                    .coupling(Coupling::FrequencyToDemand)
+            } else {
+                builder
+                    .coupling(Coupling::FrequencyToDemand)
+                    .coupling(Coupling::FrequencyToMemoryBandwidth)
+            };
+            let mut node = builder.build().unwrap();
+            let couplings = node.couplings().to_vec();
+            c.lock().set_frequency_ghz(2.3);
+            node.advance_to(Timestamp::from_secs(2));
+            c.lock().set_frequency_ghz(1.9);
+            node.advance_to(Timestamp::from_secs(4));
+            (
+                couplings,
+                h.with(|n| n.core_speed_factor()),
+                m.with(|n| n.bandwidth_factor()),
+                m.with(|n| n.local_accesses() + n.remote_accesses()),
+                h.with(|n| n.harvested_core_seconds()),
+            )
+        };
+        let declared = run(false);
+        let reversed = run(true);
+        assert_eq!(declared, reversed);
+        assert_eq!(
+            declared.0,
+            vec![Coupling::FrequencyToDemand, Coupling::FrequencyToMemoryBandwidth],
+            "build() must canonicalize the coupling order"
+        );
     }
 
     #[test]

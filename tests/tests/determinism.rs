@@ -237,6 +237,40 @@ fn three_agent_runs_are_byte_identical_per_agent() {
     assert_eq!(run(), run());
 }
 
+// ---------------------------------------------------------------------------
+// Fleet determinism: a FleetReport is a pure function of (recipe, config,
+// horizon) — the worker-thread count must never leak into the results.
+// ---------------------------------------------------------------------------
+
+/// The acceptance bar for the fleet runtime: the same recipe + seed produces
+/// a byte-identical `FleetReport` (full `Debug` rendering, so every stat,
+/// percentile, and metric is covered) for 1, 2, and 8 worker threads.
+#[test]
+fn fleet_report_is_byte_identical_across_worker_thread_counts() {
+    let run = |threads: usize| {
+        let preset = three_agents_recipe(ThreeAgentConfig::default());
+        let config = FleetConfig { nodes: 5, threads, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+        debug_bytes(&fleet.run(SimDuration::from_secs(20)).unwrap())
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2-thread fleet diverged from single-threaded");
+    assert_eq!(single, run(8), "8-thread fleet diverged from single-threaded");
+}
+
+/// Re-running the same fleet twice (same thread count) is also byte-stable:
+/// nothing about scheduling, channel timing, or map ordering may leak in.
+#[test]
+fn identical_fleet_runs_are_byte_identical() {
+    let run = || {
+        let preset = colocated_recipe(ColocationConfig::default());
+        let config = FleetConfig { nodes: 6, threads: 3, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+        debug_bytes(&fleet.run(SimDuration::from_secs(20)).unwrap())
+    };
+    assert_eq!(run(), run());
+}
+
 #[test]
 fn colocated_runs_are_byte_identical_per_agent() {
     let run = || {

@@ -60,6 +60,11 @@ fn colocation_example_runs() {
 }
 
 #[test]
+fn fleet_example_runs() {
+    run_example("fleet");
+}
+
+#[test]
 fn three_agents_example_runs() {
     run_example("three_agents");
 }

@@ -1,0 +1,185 @@
+//! Cross-crate properties of the `FleetRuntime`.
+//!
+//! * Fleet aggregation must be exactly the fold of per-node reports: the
+//!   dashboard adds information, never invents it (a proptest over toy
+//!   fleets of varying size, thread count, and epoch quantum).
+//! * Per-node seed derivation must never collide for any fleet seed up to
+//!   4096 nodes.
+//! * The real-agent recipes must produce heterogeneous fleets whose handles
+//!   key the fleet dashboard.
+
+use proptest::prelude::*;
+
+use sol_agents::prelude::*;
+use sol_core::error::DataError;
+use sol_core::prelude::*;
+
+/// A deterministic toy model parameterized by its sampled value.
+struct ToyModel {
+    value: f64,
+}
+
+impl Model for ToyModel {
+    type Data = f64;
+    type Pred = f64;
+
+    fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> {
+        Ok(self.value)
+    }
+    fn validate_data(&self, d: &f64) -> bool {
+        d.is_finite()
+    }
+    fn commit_data(&mut self, _now: Timestamp, _d: f64) {}
+    fn update_model(&mut self, _now: Timestamp) {}
+    fn predict(&mut self, now: Timestamp) -> Option<Prediction<f64>> {
+        Some(Prediction::model(self.value, now, now + SimDuration::from_secs(1)))
+    }
+    fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+        Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+    }
+    fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
+        ModelAssessment::Healthy
+    }
+}
+
+#[derive(Default)]
+struct ToyActuator {
+    actions: u64,
+}
+
+impl Actuator for ToyActuator {
+    type Pred = f64;
+    fn take_action(&mut self, _now: Timestamp, _pred: Option<&Prediction<f64>>) {
+        self.actions += 1;
+    }
+    fn assess_performance(&mut self, _now: Timestamp) -> ActuatorAssessment {
+        ActuatorAssessment::Acceptable
+    }
+    fn mitigate(&mut self, _now: Timestamp) {}
+    fn clean_up(&mut self, _now: Timestamp) {}
+}
+
+fn toy_schedule(collect_ms: u64) -> Schedule {
+    Schedule::builder()
+        .data_per_epoch(2)
+        .data_collect_interval(SimDuration::from_millis(collect_ms))
+        .max_epoch_time(SimDuration::from_millis(collect_ms * 8))
+        .assess_model_every_epochs(1)
+        .max_actuation_delay(SimDuration::from_millis(collect_ms * 8))
+        .assess_actuator_interval(SimDuration::from_millis(collect_ms * 2))
+        .build()
+        .unwrap()
+}
+
+/// A two-agent toy recipe whose per-node cadence is seed-derived, so fleets
+/// are heterogeneous.
+fn toy_recipe() -> ScenarioRecipe<NullEnvironment> {
+    ScenarioRecipe::new(|seed: &NodeSeed| {
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let collect_ms = 40 + seed.stream(0) % 120;
+        builder.agent("alpha", ToyModel { value: 1.0 }, ToyActuator::default(), {
+            toy_schedule(collect_ms)
+        });
+        builder.agent("beta", ToyModel { value: 2.0 }, ToyActuator::default(), {
+            toy_schedule(collect_ms * 2)
+        });
+        builder.build()
+    })
+    .with_metrics(|report| vec![("ended_secs".into(), report.ended_at.as_secs_f64())])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fleet dashboard is exactly the fold of per-node outcomes: every
+    /// `nodes[i]` matches an inline `run_node(i)`, and the per-role totals
+    /// equal the sum over nodes — for any fleet shape.
+    #[test]
+    fn fleet_aggregation_is_the_fold_of_per_node_reports(
+        nodes in 1usize..10,
+        threads in 1usize..5,
+        epoch_ms in 200u64..2_000,
+        fleet_seed in 0u64..1_000,
+    ) {
+        let config = FleetConfig {
+            nodes,
+            threads,
+            epoch: SimDuration::from_millis(epoch_ms),
+            seed: fleet_seed,
+        };
+        let horizon = SimDuration::from_secs(3);
+        let fleet = FleetRuntime::new(toy_recipe(), config).unwrap();
+        let report = fleet.run(horizon).unwrap();
+
+        prop_assert_eq!(report.nodes.len(), nodes);
+        for index in 0..nodes {
+            let solo = fleet.run_node(index, horizon).unwrap();
+            prop_assert_eq!(format!("{:#?}", report.nodes[index]), format!("{solo:#?}"));
+        }
+
+        // Role totals are the fold of the per-node stats.
+        for (role_idx, role) in report.roles.iter().enumerate() {
+            let mut folded = AgentStats::default();
+            for node in &report.nodes {
+                folded.accumulate(&node.agents[role_idx].stats);
+            }
+            prop_assert_eq!(format!("{:#?}", role.totals), format!("{folded:#?}"));
+            prop_assert_eq!(role.nodes, nodes);
+        }
+
+        // Metric summaries fold the per-node metrics.
+        let summary = report.metric("ended_secs").unwrap();
+        let folded: f64 = report.nodes.iter().map(|n| n.metrics[0].1).sum();
+        prop_assert_eq!(summary.nodes, nodes);
+        prop_assert!((summary.total - folded).abs() < 1e-9);
+    }
+
+    /// Per-node seed derivation never collides, for any master seed, up to
+    /// 4096 nodes.
+    #[test]
+    fn per_node_seeds_never_collide(fleet_seed in any::<u64>()) {
+        let mut seen = std::collections::HashSet::with_capacity(4096);
+        for index in 0..4096u64 {
+            let seed = NodeSeed::derive(fleet_seed, index);
+            prop_assert_eq!(seed.index(), index);
+            prop_assert!(
+                seen.insert(seed.seed()),
+                "seed collision at node {} for fleet seed {}", index, fleet_seed
+            );
+        }
+    }
+}
+
+/// The real three-agent recipe drives a heterogeneous fleet whose dashboard
+/// is keyed by the preset's typed handles.
+#[test]
+fn three_agent_fleet_dashboard_is_keyed_by_handles() {
+    let preset = three_agents_recipe(ThreeAgentConfig::default());
+    let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+    let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+    let report = fleet.run(SimDuration::from_secs(45)).unwrap();
+
+    let overclock = report.role(preset.overclock);
+    let harvest = report.role(preset.harvest);
+    let memory = report.role(preset.memory);
+    assert_eq!(overclock.name, "smart-overclock");
+    assert_eq!(harvest.name, "smart-harvest");
+    assert_eq!(memory.name, "smart-memory");
+    assert!(overclock.totals.model.epochs_completed >= 4 * 35);
+    assert!(harvest.totals.model.epochs_completed >= 4 * 800);
+    assert!(memory.totals.model.epochs_completed >= 4);
+
+    // Heterogeneity: seeded Q-learners diverge across nodes, visible in the
+    // fleet percentiles and in the per-node substrate metrics.
+    let energies: std::collections::HashSet<String> = report
+        .nodes
+        .iter()
+        .map(|n| format!("{:?}", n.metrics.iter().find(|(k, _)| k == "avg_power_watts").unwrap()))
+        .collect();
+    assert!(energies.len() > 1, "per-node seeds must differentiate the substrate outcomes");
+
+    // The memory SLO dashboard counts violating nodes fleet-wide.
+    let violations = report.metric("memory_slo_violations").unwrap();
+    assert_eq!(violations.nodes, 4);
+    assert!(violations.total <= 4.0);
+}
