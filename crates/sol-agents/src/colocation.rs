@@ -37,6 +37,11 @@ use crate::overclock::{overclock_blueprint, OverclockActuator, OverclockConfig, 
 /// Sub-seed streams of a fleet [`NodeSeed`], one per random consumer on a
 /// node. Fixed assignments keep recipes reproducible: adding a consumer means
 /// adding a stream, never renumbering existing ones.
+///
+/// Convention (documented on [`NodeSeed::stream`]): the presets own stream
+/// indices `0..=15`; custom recipes, controllers, and experiment drivers use
+/// `16` and up. Fleet-level inputs such as an arrival trace are seeded from
+/// the fleet master seed, not from per-node streams.
 const STREAM_OVERCLOCK_LEARNER: u64 = 0;
 const STREAM_CPU_NODE: u64 = 1;
 const STREAM_MEMORY_LEARNER: u64 = 2;
@@ -67,6 +72,10 @@ pub struct ColocationConfig {
     /// Whether overclocking speeds up the harvest-side primary VM
     /// (shared frequency domain).
     pub couple_frequency: bool,
+    /// Cores' worth of dynamically placeable VM slots on the CPU substrate
+    /// (0 — the default — declines all fleet-level placement; see
+    /// `CpuNodeConfig::placeable_cores`).
+    pub placeable_cores: f64,
 }
 
 impl Default for ColocationConfig {
@@ -79,6 +88,7 @@ impl Default for ColocationConfig {
             cores: 8,
             cpu_seed: CpuNodeConfig::default().seed,
             couple_frequency: true,
+            placeable_cores: 0.0,
         }
     }
 }
@@ -131,7 +141,8 @@ pub fn colocated_agents(config: ColocationConfig) -> ColocatedAgents {
     let cpu = Shared::new(CpuNode::new(
         config.workload.build(config.cores),
         CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
-            .with_seed(config.cpu_seed),
+            .with_seed(config.cpu_seed)
+            .with_placeable_cores(config.placeable_cores),
     ));
     let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
     let mut node = MultiNode::builder().cpu(cpu.clone()).harvest(harvest_node.clone());
@@ -175,6 +186,9 @@ pub struct ThreeAgentConfig {
     /// Whether overclocking raises the memory workload's access rate
     /// (frequency→memory-bandwidth coupling).
     pub couple_memory_bandwidth: bool,
+    /// Cores' worth of dynamically placeable VM slots on the CPU substrate
+    /// (0 — the default — declines all fleet-level placement).
+    pub placeable_cores: f64,
 }
 
 impl Default for ThreeAgentConfig {
@@ -195,6 +209,7 @@ impl Default for ThreeAgentConfig {
             cpu_seed: CpuNodeConfig::default().seed,
             couple_frequency: true,
             couple_memory_bandwidth: true,
+            placeable_cores: 0.0,
         }
     }
 }
@@ -259,7 +274,8 @@ pub fn three_agents(config: ThreeAgentConfig) -> ThreeAgents {
     let cpu = Shared::new(CpuNode::new(
         config.workload.build(config.cores),
         CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
-            .with_seed(config.cpu_seed),
+            .with_seed(config.cpu_seed)
+            .with_placeable_cores(config.placeable_cores),
     ));
     let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
     let memory_node = Shared::new(MemoryNode::new(config.memory_workload, config.memory_node));
@@ -320,6 +336,17 @@ pub fn colocated_recipe(base: ColocationConfig) -> ColocatedRecipe {
     let recipe = ScenarioRecipe::new(move |seed: &NodeSeed| {
         colocated_agents(base.clone().reseeded(seed)).runtime
     })
+    .with_telemetry(|env| {
+        // Live barrier telemetry for fleet controllers: the safety signal a
+        // harvest-aware packer watches (primary-VM tail latency) plus the
+        // node's current power draw.
+        let cpu = env.cpu().expect("recipe registers the CPU substrate");
+        let harvest = env.harvest().expect("recipe registers the harvest substrate");
+        vec![
+            ("p99_latency_ms".into(), harvest.with(|n| n.p99_latency_ms())),
+            ("avg_power_watts".into(), cpu.with(|n| n.average_power_watts())),
+        ]
+    })
     .with_metrics(|report| {
         let env = &report.environment;
         let cpu = env.cpu().expect("recipe registers the CPU substrate");
@@ -368,6 +395,16 @@ pub fn three_agents_recipe(base: ThreeAgentConfig) -> ThreeAgentsRecipe {
     let slo_target = base.memory.local_access_slo;
     let recipe = ScenarioRecipe::new(move |seed: &NodeSeed| {
         three_agents(base.clone().reseeded(seed)).runtime
+    })
+    .with_telemetry(|env| {
+        let cpu = env.cpu().expect("recipe registers the CPU substrate");
+        let harvest = env.harvest().expect("recipe registers the harvest substrate");
+        let memory = env.memory().expect("recipe registers the memory substrate");
+        vec![
+            ("p99_latency_ms".into(), harvest.with(|n| n.p99_latency_ms())),
+            ("avg_power_watts".into(), cpu.with(|n| n.average_power_watts())),
+            ("remote_fraction".into(), memory.with(|n| n.recent_remote_fraction())),
+        ]
     })
     .with_metrics(move |report| {
         let env = &report.environment;

@@ -43,7 +43,7 @@ pub mod prelude {
     };
     pub use crate::memory::{
         memory_blueprint, memory_schedule, smart_memory, BatchClass, MemoryActuator, MemoryConfig,
-        MemoryModel, PlacementPlan, ScanRound, SCAN_INTERVALS,
+        MemoryModel, ScanRound, TieringPlan, SCAN_INTERVALS,
     };
     pub use crate::overclock::{
         blocking_overclock_schedule, overclock_blueprint, overclock_schedule, smart_overclock,

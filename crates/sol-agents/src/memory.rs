@@ -127,12 +127,12 @@ pub enum BatchClass {
 
 /// The placement plan flowing from the Model to the Actuator.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlacementPlan {
+pub struct TieringPlan {
     /// Per-batch classification, indexed by batch id.
     pub classes: Vec<BatchClass>,
 }
 
-impl PlacementPlan {
+impl TieringPlan {
     /// Number of batches classified as hot.
     pub fn hot_count(&self) -> usize {
         self.classes.iter().filter(|c| **c == BatchClass::Hot).count()
@@ -295,7 +295,7 @@ impl MemoryModel {
 
 impl Model for MemoryModel {
     type Data = ScanRound;
-    type Pred = PlacementPlan;
+    type Pred = TieringPlan;
 
     fn collect_data(&mut self, now: Timestamp) -> Result<ScanRound, DataError> {
         let mut round = ScanRound::default();
@@ -423,7 +423,7 @@ impl Model for MemoryModel {
         };
     }
 
-    fn predict(&mut self, now: Timestamp) -> Option<Prediction<PlacementPlan>> {
+    fn predict(&mut self, now: Timestamp) -> Option<Prediction<TieringPlan>> {
         let rates = self.estimated_rates();
         let classes = self.classify(now, &rates, self.config.hot_access_fraction);
         // Epoch counters are reset after classification so the next epoch
@@ -434,14 +434,10 @@ impl Model for MemoryModel {
             state.pages_seen_this_epoch = 0;
         }
         self.last_plan = Some(classes.clone());
-        Some(Prediction::model(
-            PlacementPlan { classes },
-            now,
-            now + self.config.prediction_validity,
-        ))
+        Some(Prediction::model(TieringPlan { classes }, now, now + self.config.prediction_validity))
     }
 
-    fn default_predict(&self, now: Timestamp) -> Prediction<PlacementPlan> {
+    fn default_predict(&self, now: Timestamp) -> Prediction<TieringPlan> {
         // Conservative fallback: downsample everything to a comparable rate
         // and offload only the coldest few percent of batches (paper §5.3).
         let rates = self.estimated_rates();
@@ -453,7 +449,7 @@ impl Model for MemoryModel {
         for &idx in order.iter().take(offload) {
             classes[idx] = BatchClass::Warm;
         }
-        Prediction::fallback(PlacementPlan { classes }, now, now + self.config.prediction_validity)
+        Prediction::fallback(TieringPlan { classes }, now, now + self.config.prediction_validity)
     }
 
     fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
@@ -497,9 +493,9 @@ impl MemoryActuator {
 }
 
 impl Actuator for MemoryActuator {
-    type Pred = PlacementPlan;
+    type Pred = TieringPlan;
 
-    fn take_action(&mut self, _now: Timestamp, pred: Option<&Prediction<PlacementPlan>>) {
+    fn take_action(&mut self, _now: Timestamp, pred: Option<&Prediction<TieringPlan>>) {
         // With no (or a stale) prediction the pages simply stay where they
         // are (paper §5.3, "Handling stale predictions").
         let Some(pred) = pred else { return };

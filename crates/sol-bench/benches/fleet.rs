@@ -11,7 +11,7 @@
 //!   CI uses 8).
 
 use sol_bench::fleet_experiments::scaling_table;
-use sol_bench::report::{fmt, print_table};
+use sol_bench::report::{env_u64, fmt, print_table};
 use sol_core::time::SimDuration;
 
 fn main() {
@@ -53,8 +53,4 @@ fn main() {
         ],
         &rows,
     );
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }

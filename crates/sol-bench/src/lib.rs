@@ -14,6 +14,7 @@
 //! | `ablation` | design-choice ablations | [`overclock_experiments`] |
 //! | `colocation` | beyond the paper: agents co-located on one node | [`colocation_experiments`] |
 //! | `fleet` | beyond the paper: recipe-stamped fleets under one clock | [`fleet_experiments`] |
+//! | `placement` | beyond the paper: fleet-level VM placement under churn | [`placement_experiments`] |
 //! | `micro` | framework/ML/runtime micro-benchmarks (Criterion) | — |
 //!
 //! Experiments run on the deterministic simulation runtime, so the printed
@@ -27,4 +28,5 @@ pub mod fleet_experiments;
 pub mod harvest_experiments;
 pub mod memory_experiments;
 pub mod overclock_experiments;
+pub mod placement_experiments;
 pub mod report;

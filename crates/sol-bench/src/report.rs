@@ -56,6 +56,12 @@ pub fn pct(value: f64) -> String {
     format!("{:.1}%", value * 100.0)
 }
 
+/// Reads a `u64` quick-mode knob from the environment (e.g.
+/// `SOL_HORIZON_SECS`), falling back to `default` when unset or unparseable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

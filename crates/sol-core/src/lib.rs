@@ -102,10 +102,15 @@ pub mod prelude {
     };
     pub use crate::runtime::fleet::{
         FleetAgentReport, FleetConfig, FleetNodeReport, FleetReport, FleetRuntime, MetricSummary,
-        NodeSeed, Percentiles, RoleAggregate,
+        NodeSeed, Percentiles, PlacementStats, RoleAggregate,
     };
     pub use crate::runtime::node::{
         AgentDriver, AgentId, AgentReport, LoopAgent, NodeReport, NodeRuntime,
+    };
+    pub use crate::runtime::placement::{
+        AgentTelemetry, ArrivalTrace, ArrivalTraceConfig, FleetCommand, FleetController, FleetView,
+        GreedyPacker, GreedyPackerConfig, NodePlacement, NodeView, NullController, PlacementError,
+        PlacementPlan, TraceEvent, TraceEventKind, WorkloadId, WorkloadUnit,
     };
     pub use crate::runtime::replay::{ReplayDriver, ReplayEntry};
     pub use crate::runtime::sim::{SimReport, SimRuntime};

@@ -282,6 +282,27 @@ impl<E: Environment + 'static> ScenarioBuilder<E> {
         self.runtime.agent_count()
     }
 
+    /// Attaches a placeable workload unit to the environment being assembled
+    /// (initial placement). Recipes declare *which* slots are placeable by
+    /// configuring the environment's placeable capacity; this hook and the
+    /// equivalent one on [`NodeRuntime`] fill those slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the environment's
+    /// [`PlacementError`](crate::runtime::placement::PlacementError).
+    pub fn attach_workload(
+        &mut self,
+        unit: crate::runtime::placement::WorkloadUnit,
+    ) -> Result<(), crate::runtime::placement::PlacementError> {
+        self.runtime.attach_workload(unit)
+    }
+
+    /// The environment's current placeable state.
+    pub fn placement(&self) -> crate::runtime::placement::NodePlacement {
+        self.runtime.placement()
+    }
+
     /// Read access to the environment being assembled.
     pub fn environment(&self) -> &E {
         self.runtime.environment()
@@ -325,16 +346,23 @@ impl<E: Environment + 'static> ScenarioBuilder<E> {
 pub struct ScenarioRecipe<E: Environment + 'static> {
     build: Arc<BuildFn<E>>,
     metrics: Arc<MetricsFn<E>>,
+    telemetry: Arc<TelemetryFn<E>>,
 }
 
 /// The node-assembly closure a [`ScenarioRecipe`] replays per node.
 type BuildFn<E> = dyn Fn(&NodeSeed) -> NodeRuntime<E> + Send + Sync;
 /// A recipe's environment-metric extractor.
 type MetricsFn<E> = dyn Fn(&NodeReport<E>) -> Vec<(String, f64)> + Send + Sync;
+/// A recipe's mid-run telemetry extractor (read at every epoch barrier).
+type TelemetryFn<E> = dyn Fn(&E) -> Vec<(String, f64)> + Send + Sync;
 
 impl<E: Environment + 'static> Clone for ScenarioRecipe<E> {
     fn clone(&self) -> Self {
-        ScenarioRecipe { build: Arc::clone(&self.build), metrics: Arc::clone(&self.metrics) }
+        ScenarioRecipe {
+            build: Arc::clone(&self.build),
+            metrics: Arc::clone(&self.metrics),
+            telemetry: Arc::clone(&self.telemetry),
+        }
     }
 }
 
@@ -348,7 +376,11 @@ impl<E: Environment + 'static> ScenarioRecipe<E> {
     /// Wraps a node-assembly closure. The closure must be deterministic in
     /// the seed (see the type docs).
     pub fn new(build: impl Fn(&NodeSeed) -> NodeRuntime<E> + Send + Sync + 'static) -> Self {
-        ScenarioRecipe { build: Arc::new(build), metrics: Arc::new(|_| Vec::new()) }
+        ScenarioRecipe {
+            build: Arc::new(build),
+            metrics: Arc::new(|_| Vec::new()),
+            telemetry: Arc::new(|_| Vec::new()),
+        }
     }
 
     /// Attaches a metrics extractor run against every finished node's
@@ -364,6 +396,21 @@ impl<E: Environment + 'static> ScenarioRecipe<E> {
         self
     }
 
+    /// Attaches a telemetry extractor read against every node's *live*
+    /// environment at each epoch barrier. The returned `(name, value)` pairs
+    /// feed the [`NodeView`](crate::runtime::placement::NodeView)s a
+    /// [`FleetController`](crate::runtime::placement::FleetController) plans
+    /// from — unlike [`with_metrics`](Self::with_metrics), which only runs
+    /// once the node has finished. The extractor must be read-only in effect:
+    /// it runs at every barrier, so any mutation would change results.
+    pub fn with_telemetry(
+        mut self,
+        telemetry: impl Fn(&E) -> Vec<(String, f64)> + Send + Sync + 'static,
+    ) -> Self {
+        self.telemetry = Arc::new(telemetry);
+        self
+    }
+
     /// Stamps out one node for `seed`.
     pub fn instantiate(&self, seed: &NodeSeed) -> NodeRuntime<E> {
         (self.build)(seed)
@@ -372,6 +419,11 @@ impl<E: Environment + 'static> ScenarioRecipe<E> {
     /// Runs the metrics extractor against a finished node.
     pub fn extract_metrics(&self, report: &NodeReport<E>) -> Vec<(String, f64)> {
         (self.metrics)(report)
+    }
+
+    /// Runs the telemetry extractor against a live environment.
+    pub fn extract_telemetry(&self, environment: &E) -> Vec<(String, f64)> {
+        (self.telemetry)(environment)
     }
 }
 

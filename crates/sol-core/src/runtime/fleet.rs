@@ -15,6 +15,14 @@
 //! [`AgentHandle`](crate::runtime::builder::AgentHandle)s the recipe's
 //! builder returned.
 //!
+//! The epoch barrier is a *programmable coordination point*:
+//! [`FleetRuntime::run_with`] invokes a [`FleetController`] at every
+//! boundary with a [`FleetView`] of per-node telemetry and workload
+//! placement, and applies the returned placement commands (admit / depart /
+//! migrate [`WorkloadUnit`]s) before releasing the barrier — see the
+//! [`placement`](crate::runtime::placement) module. [`FleetRuntime::run`] is
+//! sugar for running with the do-nothing [`NullController`].
+//!
 //! # Determinism
 //!
 //! A fleet run is a pure function of `(recipe, FleetConfig, horizon)`:
@@ -93,6 +101,10 @@ use crossbeam::channel::{self, Receiver, Sender};
 use crate::error::{ReportError, RuntimeError};
 use crate::runtime::builder::ScenarioRecipe;
 use crate::runtime::node::{AgentId, NodeRuntime};
+use crate::runtime::placement::{
+    AgentTelemetry, FleetCommand, FleetController, FleetView, NodeView, NullController, WorkloadId,
+    WorkloadUnit,
+};
 use crate::runtime::Environment;
 use crate::stats::AgentStats;
 use crate::time::{SimDuration, Timestamp};
@@ -101,10 +113,10 @@ use crate::time::{SimDuration, Timestamp};
 /// constant of SplitMix64). Oddness makes `fleet_seed + GAMMA·index` distinct
 /// for every index, and [`splitmix64`] is a bijection, so derived seeds never
 /// collide within a fleet.
-const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// SplitMix64 finalizer: a bijective avalanche mix on `u64`.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(GAMMA);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -154,6 +166,17 @@ impl NodeSeed {
 
     /// An independent sub-seed for consumer `stream` (substrate RNG, learner
     /// RNG, …). Distinct streams of one node never collide.
+    ///
+    /// # Stream allocation convention
+    ///
+    /// Stream indices `0..=15` are reserved for the node-assembly presets in
+    /// `sol-agents` (currently: 0 = overclock learner, 1 = CPU substrate
+    /// fault injector, 2 = memory learner, 3 = memory substrate sampler;
+    /// 4..=15 are held back for future preset consumers). Indices `16` and
+    /// up are free for custom recipes, controllers, and experiment drivers.
+    /// Fleet-level inputs that are not per-node — e.g. an
+    /// [`ArrivalTrace`](crate::runtime::placement::ArrivalTrace) — should be
+    /// seeded from the fleet master seed directly, not from a node stream.
     pub fn stream(&self, stream: u64) -> u64 {
         splitmix64(self.seed.wrapping_add(stream.wrapping_mul(GAMMA)))
     }
@@ -204,6 +227,9 @@ pub struct FleetNodeReport {
     /// Environment metrics extracted by the recipe's
     /// [`with_metrics`](ScenarioRecipe::with_metrics) closure.
     pub metrics: Vec<(String, f64)>,
+    /// Workload units resident on the node when it stopped (empty for
+    /// environments without placeable slots).
+    pub workloads: Vec<WorkloadUnit>,
     /// The virtual time at which the node stopped.
     pub ended_at: Timestamp,
 }
@@ -224,9 +250,27 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
+    /// The all-zero distribution: what [`of`](Self::of) returns for an empty
+    /// slice.
+    pub const ZEROED: Percentiles =
+        Percentiles { min: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+
     /// Computes nearest-rank percentiles; `values` need not be sorted.
+    ///
+    /// An empty slice yields [`Percentiles::ZEROED`] — there is no data to
+    /// rank, and a zeroed row keeps aggregate reports total rather than
+    /// panicking deep inside a fleet fold. Callers that need to distinguish
+    /// "no data" from "all zero" should use [`try_of`](Self::try_of).
     pub fn of(values: &[f64]) -> Percentiles {
-        assert!(!values.is_empty(), "percentiles need at least one value");
+        Percentiles::try_of(values).unwrap_or(Percentiles::ZEROED)
+    }
+
+    /// Like [`of`](Self::of), but reports an empty slice as `None` instead of
+    /// a zeroed distribution.
+    pub fn try_of(values: &[f64]) -> Option<Percentiles> {
+        if values.is_empty() {
+            return None;
+        }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         let rank = |p: f64| {
@@ -234,13 +278,13 @@ impl Percentiles {
             let r = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
             sorted[r.min(n) - 1]
         };
-        Percentiles {
+        Some(Percentiles {
             min: sorted[0],
             p50: rank(50.0),
             p90: rank(90.0),
             p99: rank(99.0),
             max: sorted[sorted.len() - 1],
-        }
+        })
     }
 }
 
@@ -282,6 +326,45 @@ pub struct MetricSummary {
     pub max: f64,
 }
 
+/// Fleet-wide placement outcomes of one run: what the
+/// [`FleetController`] asked for and what actually happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementStats {
+    /// Total commands the controller issued across all epoch boundaries.
+    pub commands: u64,
+    /// Workload units successfully admitted.
+    pub admitted: u64,
+    /// Workload units successfully departed (drained).
+    pub departed: u64,
+    /// Workload units successfully migrated between nodes.
+    pub migrated: u64,
+    /// Commands that failed against the hosting environment: rejected
+    /// admissions (capacity, unsupported environment, duplicate id), detaches
+    /// of unknown units, and migrations whose either half failed.
+    pub failed_placements: u64,
+    /// Distribution over nodes of each node's mean occupancy (used fraction
+    /// of its placeable capacity, averaged over the epoch barriers).
+    /// [`Percentiles::ZEROED`] when no environment has placeable capacity.
+    pub occupancy: Percentiles,
+    /// Mean over epoch barriers of (fleet-wide resident cores) /
+    /// (fleet-wide placeable capacity); 0 when nothing is placeable.
+    pub packing_efficiency: f64,
+}
+
+impl Default for PlacementStats {
+    fn default() -> Self {
+        PlacementStats {
+            commands: 0,
+            admitted: 0,
+            departed: 0,
+            migrated: 0,
+            failed_placements: 0,
+            occupancy: Percentiles::ZEROED,
+            packing_efficiency: 0.0,
+        }
+    }
+}
+
 /// Results of a completed fleet run: per-node outcomes in index order plus
 /// the fleet-level dashboards.
 #[derive(Debug, Clone, PartialEq)]
@@ -295,9 +378,13 @@ pub struct FleetReport {
     /// Summaries of the recipe-extracted environment metrics, in first-seen
     /// order.
     pub metrics: Vec<MetricSummary>,
+    /// Placement outcomes (all-zero for a [`NullController`] run over
+    /// capacity-free environments).
+    pub placement: PlacementStats,
     /// The virtual time at which the fleet stopped (identical on every node).
     pub ended_at: Timestamp,
-    /// Number of epoch-boundary synchronizations the run performed.
+    /// Number of epoch-boundary synchronizations the run performed (the
+    /// controller is invoked once per boundary).
     pub epochs: u64,
 }
 
@@ -333,10 +420,35 @@ impl FleetReport {
 
 /// What a worker sends back to the coordinator.
 enum WorkerMsg {
-    /// All nodes owned by the worker reached the current epoch boundary.
-    EpochDone,
+    /// All nodes owned by the worker reached the current epoch boundary;
+    /// carries their barrier telemetry snapshots.
+    EpochDone(Vec<NodeView>),
+    /// Results of the detach phase, tagged back to the coordinator's command
+    /// table (`None` = the unit was not resident).
+    Detached(Vec<(usize, Option<WorkloadUnit>)>),
+    /// Outcome of the attach phase: success counts plus the tags of the
+    /// attaches that failed (so the coordinator can roll migrations back).
+    Attached { admitted: u64, migrated: u64, failed: Vec<usize> },
+    /// Number of rollback re-attaches that failed (units genuinely lost).
+    Restored { lost: u64 },
     /// Final per-node outcomes (sent once, after the last epoch).
     Finished(Vec<FleetNodeReport>),
+}
+
+/// What the coordinator sends to a worker at each epoch boundary, in this
+/// fixed order: the detach phase, the attach phase, the rollback phase, then
+/// (except after the final boundary) the barrier release.
+enum CoordMsg {
+    /// Detach phase: `(tag, node, workload)` — execute in order, echo the tag.
+    Detach(Vec<(usize, usize, WorkloadId)>),
+    /// Attach phase: `(tag, node, unit, is_migration)` — execute in order,
+    /// echo the tags of the attaches that failed.
+    Attach(Vec<(usize, usize, WorkloadUnit, bool)>),
+    /// Rollback phase: re-attach units whose migration attach failed to
+    /// their source node (`(node, unit)`).
+    Restore(Vec<(usize, WorkloadUnit)>),
+    /// Release the barrier into the next epoch.
+    Proceed,
 }
 
 /// Drives *N* recipe-stamped [`NodeRuntime`]s under one virtual clock. See
@@ -367,15 +479,34 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// zero, or if `epoch` is zero.
     pub fn new(recipe: ScenarioRecipe<E>, config: FleetConfig) -> Result<Self, RuntimeError> {
         if config.nodes == 0 {
-            return Err(RuntimeError::InvalidConfig("fleet must have at least one node".into()));
+            return Err(RuntimeError::InvalidConfig(
+                "fleet config: nodes must be at least 1".into(),
+            ));
         }
         if config.threads == 0 {
-            return Err(RuntimeError::InvalidConfig("fleet needs at least one worker".into()));
+            return Err(RuntimeError::InvalidConfig(
+                "fleet config: threads must be at least 1".into(),
+            ));
         }
         if config.epoch.is_zero() {
-            return Err(RuntimeError::InvalidConfig("fleet epoch must be non-zero".into()));
+            return Err(RuntimeError::InvalidConfig("fleet config: epoch must be non-zero".into()));
         }
         Ok(FleetRuntime { recipe, config })
+    }
+
+    /// Validates a run horizon against the config (shared by
+    /// [`run_with`](Self::run_with) and [`run_node`](Self::run_node)).
+    fn check_horizon(&self, horizon: SimDuration) -> Result<(), RuntimeError> {
+        if horizon.is_zero() {
+            return Err(RuntimeError::EmptyHorizon);
+        }
+        if self.config.epoch > horizon {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "fleet config: epoch ({}) exceeds the run horizon ({horizon})",
+                self.config.epoch
+            )));
+        }
+        Ok(())
     }
 
     /// The fleet's configuration.
@@ -388,69 +519,294 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         NodeSeed::derive(self.config.seed, index as u64)
     }
 
-    /// Runs the whole fleet for `horizon` of virtual time: instantiates every
-    /// node from the recipe, shards the nodes across the worker pool, and
-    /// advances all of them epoch by epoch (no node enters epoch `k+1`
-    /// before every node finished epoch `k`).
+    /// Runs the whole fleet for `horizon` of virtual time with no placement
+    /// activity: sugar for [`run_with`](Self::run_with) and the
+    /// [`NullController`] — byte-identical results, same barrier protocol.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_with`](Self::run_with).
+    pub fn run(&self, horizon: SimDuration) -> Result<FleetReport, RuntimeError> {
+        self.run_with(&mut NullController, horizon)
+    }
+
+    /// Runs the whole fleet for `horizon` of virtual time under a
+    /// [`FleetController`]: instantiates every node from the recipe, shards
+    /// the nodes across the worker pool, and advances all of them epoch by
+    /// epoch (no node enters epoch `k+1` before every node finished epoch
+    /// `k`). At every epoch boundary the controller receives a [`FleetView`]
+    /// of per-node telemetry and placement (folded in node-index order) and
+    /// returns a [`PlacementPlan`](crate::runtime::placement::PlacementPlan);
+    /// the plan is applied before the barrier is released — departures and
+    /// migration-detaches first, then admissions, then migration-attaches,
+    /// each phase stable-sorted by target node index — so freed capacity is
+    /// available to the same barrier's admissions and results never depend
+    /// on the worker-thread layout.
+    ///
+    /// Commands that fail against a node's environment (capacity exceeded,
+    /// unknown unit, environment without placeable slots) are counted in
+    /// [`PlacementStats::failed_placements`], not fatal. A migration whose
+    /// attach half fails is rolled back — the unit is re-attached to its
+    /// source node, whose capacity the detach just freed — so a rejected
+    /// migration can never destroy a workload unit.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero,
+    /// [`RuntimeError::InvalidConfig`] if `epoch` exceeds `horizon`, if the
+    /// controller addressed a node index outside the fleet, or if the recipe
+    /// produced differing agent populations across nodes, and
     /// [`RuntimeError::WorkerPanicked`] if a worker thread died (e.g. the
-    /// recipe panicked), and [`RuntimeError::InvalidConfig`] if the recipe
-    /// produced differing agent populations across nodes.
-    pub fn run(&self, horizon: SimDuration) -> Result<FleetReport, RuntimeError> {
-        if horizon.is_zero() {
-            return Err(RuntimeError::EmptyHorizon);
-        }
+    /// recipe panicked).
+    pub fn run_with(
+        &self,
+        controller: &mut dyn FleetController,
+        horizon: SimDuration,
+    ) -> Result<FleetReport, RuntimeError> {
+        self.check_horizon(horizon)?;
         let boundaries = epoch_boundaries(horizon, self.config.epoch);
         let threads = self.config.threads.min(self.config.nodes);
 
         // Static round-robin sharding: node i runs on worker i mod T. The
         // assignment affects wall-clock only — every node's trajectory is a
-        // pure function of its seed and the shared epoch grid.
+        // pure function of its seed, the shared epoch grid, and the
+        // (thread-independent) command stream the controller produces.
+        let owner = |index: usize| index % threads;
         let mut assignments: Vec<Vec<NodeSeed>> = (0..threads).map(|_| Vec::new()).collect();
         for index in 0..self.config.nodes {
-            assignments[index % threads].push(self.node_seed(index));
+            assignments[owner(index)].push(self.node_seed(index));
         }
 
         let mut links = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for seeds in assignments {
-            let (proceed_tx, proceed_rx) = channel::unbounded::<()>();
+            let (cmd_tx, cmd_rx) = channel::unbounded::<CoordMsg>();
             let (done_tx, done_rx) = channel::unbounded::<WorkerMsg>();
-            links.push((proceed_tx, done_rx));
+            links.push((cmd_tx, done_rx));
             let recipe = self.recipe.clone();
             let boundaries = boundaries.clone();
             let handle = thread::Builder::new()
                 .name("sol-fleet-worker".into())
-                .spawn(move || worker(recipe, seeds, boundaries, proceed_rx, done_tx))
+                .spawn(move || worker(recipe, seeds, boundaries, cmd_rx, done_tx))
                 .expect("spawn fleet worker");
             handles.push(handle);
         }
 
         let mut node_reports: Vec<Option<FleetNodeReport>> =
             (0..self.config.nodes).map(|_| None).collect();
-        let mut failed = false;
+        let mut placement = PlacementStats::default();
+        let mut occupancy_sums = vec![0.0f64; self.config.nodes];
+        let mut packing_sum = 0.0f64;
+        let mut error: Option<RuntimeError> = None;
+        let died = || RuntimeError::WorkerPanicked("fleet worker");
 
-        // Epoch barrier: collect one EpochDone per worker, then release all
-        // of them into the next epoch. A worker death (recv error) aborts
-        // the protocol; dropping our `proceed` senders unblocks the others.
+        // Epoch barrier: collect one EpochDone (with telemetry snapshots) per
+        // worker, invoke the controller, apply its plan in two phases, then
+        // release all workers into the next epoch. A worker death (recv
+        // error) aborts the protocol; dropping our command senders unblocks
+        // the remaining workers.
         'protocol: {
-            for k in 0..boundaries.len() {
+            for (k, &boundary) in boundaries.iter().enumerate() {
+                let mut views: Vec<Option<NodeView>> =
+                    (0..self.config.nodes).map(|_| None).collect();
                 for (_, done_rx) in &links {
                     match done_rx.recv() {
-                        Ok(WorkerMsg::EpochDone) => {}
+                        Ok(WorkerMsg::EpochDone(snapshots)) => {
+                            for snapshot in snapshots {
+                                let index = snapshot.node;
+                                views[index] = Some(snapshot);
+                            }
+                        }
                         _ => {
-                            failed = true;
+                            error = Some(died());
                             break 'protocol;
                         }
                     }
                 }
+                let view = FleetView {
+                    now: boundary,
+                    epoch: k as u64,
+                    nodes: views.into_iter().map(|v| v.expect("every node reported")).collect(),
+                };
+
+                // Occupancy bookkeeping from the barrier snapshots (taken
+                // before this boundary's plan is applied).
+                let mut used_total = 0.0;
+                let mut capacity_total = 0.0;
+                for node in &view.nodes {
+                    occupancy_sums[node.node] += node.placement.occupancy();
+                    used_total += node.placement.used();
+                    capacity_total += node.placement.capacity;
+                }
+                if capacity_total > 0.0 {
+                    packing_sum += used_total / capacity_total;
+                }
+
+                let plan = controller.plan(&view);
+                placement.commands += plan.len() as u64;
+
+                // Partition the plan into the detach and attach phases, each
+                // stable-sorted by target node. `detach_info[tag]` remembers
+                // where a successfully detached unit migrates to.
+                let mut detaches: Vec<(usize, WorkloadId)> = Vec::new();
+                let mut detach_targets: Vec<Option<usize>> = Vec::new();
+                let mut admissions: Vec<(usize, WorkloadUnit)> = Vec::new();
+                for command in plan.into_commands() {
+                    let check = |node: usize| -> Result<usize, RuntimeError> {
+                        if node < self.config.nodes {
+                            Ok(node)
+                        } else {
+                            Err(RuntimeError::InvalidConfig(format!(
+                                "controller addressed node {node} of a {}-node fleet",
+                                self.config.nodes
+                            )))
+                        }
+                    };
+                    let outcome = (|| match command {
+                        FleetCommand::Admit { node, unit } => {
+                            admissions.push((check(node)?, unit));
+                            Ok(())
+                        }
+                        FleetCommand::Depart { node, workload } => {
+                            detaches.push((check(node)?, workload));
+                            detach_targets.push(None);
+                            Ok(())
+                        }
+                        FleetCommand::Migrate { from, to, workload } => {
+                            let to = check(to)?;
+                            detaches.push((check(from)?, workload));
+                            detach_targets.push(Some(to));
+                            Ok(())
+                        }
+                    })();
+                    if let Err(e) = outcome {
+                        error = Some(e);
+                        break 'protocol;
+                    }
+                }
+
+                // Detach phase (departures + migration sources).
+                let detach_sources: Vec<usize> = detaches.iter().map(|&(node, _)| node).collect();
+                let mut tagged: Vec<(usize, usize, WorkloadId)> = detaches
+                    .into_iter()
+                    .enumerate()
+                    .map(|(tag, (node, workload))| (tag, node, workload))
+                    .collect();
+                tagged.sort_by_key(|&(tag, node, _)| (node, tag));
+                for (w, (cmd_tx, _)) in links.iter().enumerate() {
+                    let batch: Vec<(usize, usize, WorkloadId)> =
+                        tagged.iter().filter(|&&(_, node, _)| owner(node) == w).copied().collect();
+                    if cmd_tx.send(CoordMsg::Detach(batch)).is_err() {
+                        error = Some(died());
+                        break 'protocol;
+                    }
+                }
+                let mut recovered: Vec<Option<WorkloadUnit>> = vec![None; detach_targets.len()];
+                for (_, done_rx) in &links {
+                    match done_rx.recv() {
+                        Ok(WorkerMsg::Detached(results)) => {
+                            for (tag, unit) in results {
+                                recovered[tag] = unit;
+                            }
+                        }
+                        _ => {
+                            error = Some(died());
+                            break 'protocol;
+                        }
+                    }
+                }
+                for (tag, target) in detach_targets.iter().enumerate() {
+                    match (&recovered[tag], target) {
+                        (None, _) => placement.failed_placements += 1,
+                        (Some(_), None) => placement.departed += 1,
+                        (Some(_), Some(_)) => {} // counted when the attach lands
+                    }
+                }
+
+                // Attach phase: admissions (plan order), then migration
+                // re-attaches (plan order), dispatched stable-sorted by
+                // target node. `attach_table[tag]` keeps the migration
+                // source so a failed attach can be rolled back.
+                let mut attach_table: Vec<(usize, WorkloadUnit, Option<usize>)> = Vec::new();
+                for (node, unit) in admissions {
+                    attach_table.push((node, unit, None));
+                }
+                for (tag, target) in detach_targets.iter().enumerate() {
+                    if let (Some(to), Some(unit)) = (target, recovered[tag]) {
+                        attach_table.push((*to, unit, Some(detach_sources[tag])));
+                    }
+                }
+                let mut order: Vec<usize> = (0..attach_table.len()).collect();
+                order.sort_by_key(|&tag| (attach_table[tag].0, tag));
+                for (w, (cmd_tx, _)) in links.iter().enumerate() {
+                    let batch: Vec<(usize, usize, WorkloadUnit, bool)> = order
+                        .iter()
+                        .filter(|&&tag| owner(attach_table[tag].0) == w)
+                        .map(|&tag| {
+                            let (node, unit, source) = attach_table[tag];
+                            (tag, node, unit, source.is_some())
+                        })
+                        .collect();
+                    if cmd_tx.send(CoordMsg::Attach(batch)).is_err() {
+                        error = Some(died());
+                        break 'protocol;
+                    }
+                }
+                let mut failed_tags: Vec<usize> = Vec::new();
+                for (_, done_rx) in &links {
+                    match done_rx.recv() {
+                        Ok(WorkerMsg::Attached { admitted, migrated, failed }) => {
+                            placement.admitted += admitted;
+                            placement.migrated += migrated;
+                            failed_tags.extend(failed);
+                        }
+                        _ => {
+                            error = Some(died());
+                            break 'protocol;
+                        }
+                    }
+                }
+
+                // Rollback phase: a migration whose attach half failed must
+                // not destroy the unit — it goes back to its source node
+                // (which just freed the capacity). The failed migration
+                // still counts as a failed placement; failed admissions
+                // only count (the unit never entered the fleet).
+                failed_tags.sort_unstable();
+                let mut restores: Vec<(usize, WorkloadUnit)> = Vec::new();
+                for &tag in &failed_tags {
+                    placement.failed_placements += 1;
+                    let (_, unit, source) = attach_table[tag];
+                    if let Some(source) = source {
+                        restores.push((source, unit));
+                    }
+                }
+                for (w, (cmd_tx, _)) in links.iter().enumerate() {
+                    let batch: Vec<(usize, WorkloadUnit)> =
+                        restores.iter().filter(|&&(node, _)| owner(node) == w).copied().collect();
+                    if cmd_tx.send(CoordMsg::Restore(batch)).is_err() {
+                        error = Some(died());
+                        break 'protocol;
+                    }
+                }
+                for (_, done_rx) in &links {
+                    match done_rx.recv() {
+                        Ok(WorkerMsg::Restored { lost }) => {
+                            // A unit that could not even return home is
+                            // genuinely lost; make that loud in the stats.
+                            placement.failed_placements += lost;
+                        }
+                        _ => {
+                            error = Some(died());
+                            break 'protocol;
+                        }
+                    }
+                }
+
                 if k + 1 < boundaries.len() {
-                    for (proceed_tx, _) in &links {
-                        if proceed_tx.send(()).is_err() {
-                            failed = true;
+                    for (cmd_tx, _) in &links {
+                        if cmd_tx.send(CoordMsg::Proceed).is_err() {
+                            error = Some(died());
                             break 'protocol;
                         }
                     }
@@ -465,7 +821,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         }
                     }
                     _ => {
-                        failed = true;
+                        error = Some(died());
                         break 'protocol;
                     }
                 }
@@ -473,18 +829,29 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         }
 
         drop(links);
+        let mut worker_died = false;
         for handle in handles {
             if handle.join().is_err() {
-                failed = true;
+                worker_died = true;
             }
         }
-        if failed {
+        if worker_died {
+            // A panic inside a worker is the root cause; report it even if
+            // the protocol error surfaced first.
             return Err(RuntimeError::WorkerPanicked("fleet worker"));
         }
+        if let Some(e) = error {
+            return Err(e);
+        }
+
+        let epochs = boundaries.len() as f64;
+        placement.occupancy =
+            Percentiles::of(&occupancy_sums.iter().map(|s| s / epochs).collect::<Vec<f64>>());
+        placement.packing_efficiency = packing_sum / epochs;
 
         let nodes: Vec<FleetNodeReport> =
             node_reports.into_iter().map(|r| r.expect("every node reported")).collect();
-        aggregate(nodes, boundaries.len() as u64)
+        aggregate(nodes, boundaries.len() as u64, placement)
     }
 
     /// Runs a single node of the fleet inline on the calling thread, with the
@@ -499,15 +866,14 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero and
-    /// [`RuntimeError::InvalidConfig`] if `index` is out of range.
+    /// [`RuntimeError::InvalidConfig`] if `index` is out of range or `epoch`
+    /// exceeds `horizon`.
     pub fn run_node(
         &self,
         index: usize,
         horizon: SimDuration,
     ) -> Result<FleetNodeReport, RuntimeError> {
-        if horizon.is_zero() {
-            return Err(RuntimeError::EmptyHorizon);
-        }
+        self.check_horizon(horizon)?;
         if index >= self.config.nodes {
             return Err(RuntimeError::InvalidConfig(format!(
                 "node index {index} out of range for a {}-node fleet",
@@ -538,27 +904,101 @@ fn epoch_boundaries(horizon: SimDuration, epoch: SimDuration) -> Vec<Timestamp> 
     }
 }
 
-/// Worker body: advance every owned node to each epoch boundary, barrier,
-/// repeat; then finish the nodes and ship their summaries home.
+/// Worker body: advance every owned node to each epoch boundary, ship the
+/// barrier snapshots, execute the coordinator's detach, attach, and rollback
+/// phases, wait for the release, repeat; then finish the nodes and ship
+/// their summaries home.
 fn worker<E: Environment + 'static>(
     recipe: ScenarioRecipe<E>,
     seeds: Vec<NodeSeed>,
     boundaries: Vec<Timestamp>,
-    proceed_rx: Receiver<()>,
+    cmd_rx: Receiver<CoordMsg>,
     done_tx: Sender<WorkerMsg>,
 ) {
     let mut nodes: Vec<(NodeSeed, NodeRuntime<E>)> =
         seeds.into_iter().map(|seed| (seed, recipe.instantiate(&seed))).collect();
+    // Global node index → position in this worker's shard.
+    let position = |nodes: &[(NodeSeed, NodeRuntime<E>)], index: usize| -> Option<usize> {
+        nodes.iter().position(|(seed, _)| seed.index() as usize == index)
+    };
     for (k, &boundary) in boundaries.iter().enumerate() {
         for (_, runtime) in &mut nodes {
             runtime.run_until(boundary);
         }
-        if done_tx.send(WorkerMsg::EpochDone).is_err() {
+        let snapshots = nodes
+            .iter()
+            .map(|(seed, runtime)| NodeView {
+                node: seed.index() as usize,
+                agents: runtime
+                    .agent_snapshots()
+                    .into_iter()
+                    .map(|(name, stats)| AgentTelemetry { name, stats })
+                    .collect(),
+                telemetry: recipe.extract_telemetry(runtime.environment()),
+                placement: runtime.placement(),
+            })
+            .collect();
+        if done_tx.send(WorkerMsg::EpochDone(snapshots)).is_err() {
             return;
         }
-        // The coordinator releases the barrier; a closed channel means the
-        // run was aborted (another worker died) — exit quietly.
-        if k + 1 < boundaries.len() && proceed_rx.recv().is_err() {
+        // Detach phase. A closed channel at any point means the run was
+        // aborted (another worker died, or the controller erred) — exit
+        // quietly.
+        let detaches = match cmd_rx.recv() {
+            Ok(CoordMsg::Detach(batch)) => batch,
+            _ => return,
+        };
+        let results = detaches
+            .into_iter()
+            .map(|(tag, index, workload)| {
+                let unit = position(&nodes, index)
+                    .and_then(|pos| nodes[pos].1.detach_workload(workload).ok());
+                (tag, unit)
+            })
+            .collect();
+        if done_tx.send(WorkerMsg::Detached(results)).is_err() {
+            return;
+        }
+        // Attach phase.
+        let attaches = match cmd_rx.recv() {
+            Ok(CoordMsg::Attach(batch)) => batch,
+            _ => return,
+        };
+        let mut admitted = 0u64;
+        let mut migrated = 0u64;
+        let mut failed: Vec<usize> = Vec::new();
+        for (tag, index, unit, is_migration) in attaches {
+            let attached = position(&nodes, index)
+                .map(|pos| nodes[pos].1.attach_workload(unit).is_ok())
+                .unwrap_or(false);
+            match (attached, is_migration) {
+                (true, false) => admitted += 1,
+                (true, true) => migrated += 1,
+                (false, _) => failed.push(tag),
+            }
+        }
+        if done_tx.send(WorkerMsg::Attached { admitted, migrated, failed }).is_err() {
+            return;
+        }
+        // Rollback phase: units whose migration attach failed return to
+        // their source node (its capacity was freed by the detach).
+        let restores = match cmd_rx.recv() {
+            Ok(CoordMsg::Restore(batch)) => batch,
+            _ => return,
+        };
+        let mut lost = 0u64;
+        for (index, unit) in restores {
+            let restored = position(&nodes, index)
+                .map(|pos| nodes[pos].1.attach_workload(unit).is_ok())
+                .unwrap_or(false);
+            if !restored {
+                lost += 1;
+            }
+        }
+        if done_tx.send(WorkerMsg::Restored { lost }).is_err() {
+            return;
+        }
+        if k + 1 < boundaries.len() && !matches!(cmd_rx.recv(), Ok(CoordMsg::Proceed)) {
             return;
         }
     }
@@ -574,6 +1014,7 @@ fn summarize<E: Environment + 'static>(
     seed: NodeSeed,
     runtime: NodeRuntime<E>,
 ) -> FleetNodeReport {
+    let workloads = runtime.placement().resident;
     let report = runtime.finish();
     let metrics = recipe.extract_metrics(&report);
     let agents = report
@@ -586,12 +1027,17 @@ fn summarize<E: Environment + 'static>(
         seed: seed.seed(),
         agents,
         metrics,
+        workloads,
         ended_at: report.ended_at,
     }
 }
 
 /// Folds per-node reports (already in index order) into the fleet dashboard.
-fn aggregate(nodes: Vec<FleetNodeReport>, epochs: u64) -> Result<FleetReport, RuntimeError> {
+fn aggregate(
+    nodes: Vec<FleetNodeReport>,
+    epochs: u64,
+    placement: PlacementStats,
+) -> Result<FleetReport, RuntimeError> {
     let first = &nodes[0];
     for node in &nodes[1..] {
         let matches = node.agents.len() == first.agents.len()
@@ -671,7 +1117,7 @@ fn aggregate(nodes: Vec<FleetNodeReport>, epochs: u64) -> Result<FleetReport, Ru
         .collect();
 
     let ended_at = nodes[0].ended_at;
-    Ok(FleetReport { nodes, roles, metrics, ended_at, epochs })
+    Ok(FleetReport { nodes, roles, metrics, placement, ended_at, epochs })
 }
 
 #[cfg(test)]
@@ -716,18 +1162,44 @@ mod tests {
     }
 
     #[test]
-    fn rejects_degenerate_configs() {
-        let bad = |config: FleetConfig| {
-            matches!(
-                FleetRuntime::new(heterogeneous_recipe(), config),
-                Err(RuntimeError::InvalidConfig(_))
-            )
+    fn rejects_degenerate_configs_naming_the_field() {
+        let message = |config: FleetConfig| -> String {
+            match FleetRuntime::new(heterogeneous_recipe(), config) {
+                Err(RuntimeError::InvalidConfig(message)) => message,
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
         };
-        assert!(bad(FleetConfig { nodes: 0, ..FleetConfig::default() }));
-        assert!(bad(FleetConfig { threads: 0, ..FleetConfig::default() }));
-        assert!(bad(FleetConfig { epoch: SimDuration::ZERO, ..FleetConfig::default() }));
+        assert!(message(FleetConfig { nodes: 0, ..FleetConfig::default() }).contains("nodes"));
+        assert!(message(FleetConfig { threads: 0, ..FleetConfig::default() }).contains("threads"));
+        let zero_epoch =
+            message(FleetConfig { epoch: SimDuration::ZERO, ..FleetConfig::default() });
+        assert!(zero_epoch.contains("epoch"), "message was {zero_epoch:?}");
         let fleet = FleetRuntime::new(heterogeneous_recipe(), FleetConfig::default()).unwrap();
         assert!(matches!(fleet.run(SimDuration::ZERO), Err(RuntimeError::EmptyHorizon)));
+    }
+
+    #[test]
+    fn rejects_epoch_longer_than_the_horizon() {
+        // An epoch that cannot fit in the horizon used to silently degenerate
+        // to one oversized boundary; now it is a named config error on every
+        // run path.
+        let config = FleetConfig { epoch: SimDuration::from_secs(30), ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        for result in [
+            fleet.run(SimDuration::from_secs(2)).map(|_| ()),
+            fleet.run_node(0, SimDuration::from_secs(2)).map(|_| ()),
+        ] {
+            match result {
+                Err(RuntimeError::InvalidConfig(message)) => {
+                    assert!(message.contains("epoch"), "message was {message:?}");
+                    assert!(message.contains("horizon"), "message was {message:?}");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // An epoch equal to the horizon is the single-epoch case, not an
+        // error.
+        assert!(fleet.run(SimDuration::from_secs(30)).is_ok());
     }
 
     #[test]
@@ -742,8 +1214,8 @@ mod tests {
                 Timestamp::from_secs(10),
             ]
         );
-        // An epoch longer than the horizon degenerates to one boundary.
-        let grid = epoch_boundaries(SimDuration::from_secs(2), SimDuration::from_secs(60));
+        // An epoch equal to the horizon is the single-epoch case.
+        let grid = epoch_boundaries(SimDuration::from_secs(2), SimDuration::from_secs(2));
         assert_eq!(grid, vec![Timestamp::from_secs(2)]);
     }
 
@@ -892,5 +1364,15 @@ mod tests {
         let single = Percentiles::of(&[5.0]);
         assert_eq!(single.p50, 5.0);
         assert_eq!(single.p99, 5.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_slice_are_zeroed() {
+        // The documented empty-slice contract: `of` yields the all-zero
+        // distribution (so fleet folds over zero-capacity placements never
+        // panic) and `try_of` reports the absence of data explicitly.
+        assert_eq!(Percentiles::of(&[]), Percentiles::ZEROED);
+        assert_eq!(Percentiles::try_of(&[]), None);
+        assert_eq!(Percentiles::try_of(&[2.0]), Some(Percentiles::of(&[2.0])));
     }
 }

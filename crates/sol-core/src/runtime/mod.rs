@@ -35,6 +35,7 @@
 pub mod builder;
 pub mod fleet;
 pub mod node;
+pub mod placement;
 pub mod replay;
 pub mod sim;
 #[cfg(test)]
@@ -43,15 +44,60 @@ pub mod threaded;
 
 use crate::time::Timestamp;
 
+use self::placement::{NodePlacement, PlacementError, WorkloadId, WorkloadUnit};
+
 /// A simulated environment that evolves with time.
 ///
 /// The simulation runtime advances the environment to the current virtual time
 /// before running either control loop, so agents always observe up-to-date
 /// telemetry.
+///
+/// # Workload placement
+///
+/// Environments that can host dynamically placed work (VMs arriving,
+/// departing, and migrating between fleet nodes — see the
+/// [`placement`] module) opt in by overriding the placement hooks. The
+/// defaults describe an environment with no placeable slots: every attach
+/// fails with [`PlacementError::Unsupported`] (counted, not fatal, when a
+/// [`FleetController`](placement::FleetController) issues it) and the
+/// placement snapshot is empty.
 pub trait Environment {
     /// Advances the environment's state to `now`. Called with monotonically
     /// non-decreasing timestamps.
     fn advance_to(&mut self, now: Timestamp);
+
+    /// Attaches a placeable workload unit. Called only between simulation
+    /// segments (epoch boundaries), never mid-tick.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation always returns
+    /// [`PlacementError::Unsupported`]; hosting environments return
+    /// [`PlacementError::CapacityExceeded`] or
+    /// [`PlacementError::DuplicateWorkload`] as appropriate.
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        let _ = unit;
+        Err(PlacementError::Unsupported)
+    }
+
+    /// Detaches a resident workload unit and returns it (so a migration can
+    /// re-attach it elsewhere). Called only between simulation segments.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation always returns
+    /// [`PlacementError::Unsupported`]; hosting environments return
+    /// [`PlacementError::UnknownWorkload`] for ids that are not resident.
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        let _ = id;
+        Err(PlacementError::Unsupported)
+    }
+
+    /// The environment's current placeable state. The default reports no
+    /// capacity and no resident units.
+    fn placement(&self) -> NodePlacement {
+        NodePlacement::none()
+    }
 }
 
 /// A no-op environment for agents that do not need a simulated substrate
@@ -67,10 +113,34 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     fn advance_to(&mut self, now: Timestamp) {
         (**self).advance_to(now);
     }
+
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        (**self).attach_workload(unit)
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        (**self).detach_workload(id)
+    }
+
+    fn placement(&self) -> NodePlacement {
+        (**self).placement()
+    }
 }
 
 impl<E: Environment + ?Sized> Environment for Box<E> {
     fn advance_to(&mut self, now: Timestamp) {
         (**self).advance_to(now);
+    }
+
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        (**self).attach_workload(unit)
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        (**self).detach_workload(id)
+    }
+
+    fn placement(&self) -> NodePlacement {
+        (**self).placement()
     }
 }

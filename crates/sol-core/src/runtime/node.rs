@@ -638,6 +638,52 @@ impl<E: Environment + 'static> NodeRuntime<E> {
         self.push_event(at, EventKind::Intervention(Intervention::Mutate(Box::new(f))));
     }
 
+    /// Attaches a placeable workload unit to the environment. Valid before
+    /// the run and between [`run_until`](Self::run_until) segments — this is
+    /// the hook the fleet layer uses to apply
+    /// [`FleetCommand`](crate::runtime::placement::FleetCommand)s at epoch
+    /// boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the environment's
+    /// [`PlacementError`](crate::runtime::placement::PlacementError)
+    /// (unsupported, capacity exceeded, duplicate id).
+    pub fn attach_workload(
+        &mut self,
+        unit: crate::runtime::placement::WorkloadUnit,
+    ) -> Result<(), crate::runtime::placement::PlacementError> {
+        self.environment.attach_workload(unit)
+    }
+
+    /// Detaches a resident workload unit from the environment and returns it
+    /// (so a migration can re-attach it to another node). Valid before the
+    /// run and between [`run_until`](Self::run_until) segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the environment's
+    /// [`PlacementError`](crate::runtime::placement::PlacementError)
+    /// (unsupported, unknown id).
+    pub fn detach_workload(
+        &mut self,
+        id: crate::runtime::placement::WorkloadId,
+    ) -> Result<crate::runtime::placement::WorkloadUnit, crate::runtime::placement::PlacementError>
+    {
+        self.environment.detach_workload(id)
+    }
+
+    /// The environment's current placeable state (capacity + resident units).
+    pub fn placement(&self) -> crate::runtime::placement::NodePlacement {
+        self.environment.placement()
+    }
+
+    /// Name and current counters of every agent, in registration order — the
+    /// per-node telemetry the fleet layer snapshots at epoch barriers.
+    pub fn agent_snapshots(&self) -> Vec<(String, AgentStats)> {
+        self.agents.iter().map(|slot| (slot.name.clone(), slot.driver.stats())).collect()
+    }
+
     /// Read access to the environment (before or after a run segment).
     pub fn environment(&self) -> &E {
         &self.environment

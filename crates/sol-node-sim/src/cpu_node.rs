@@ -8,6 +8,7 @@
 use rand::Rng;
 
 use sol_core::error::DataError;
+use sol_core::runtime::placement::{NodePlacement, PlacementError, WorkloadId, WorkloadUnit};
 use sol_core::runtime::Environment;
 use sol_core::time::{SimDuration, Timestamp};
 use sol_ml::sampling::seeded_rng;
@@ -38,6 +39,15 @@ pub struct CpuNodeConfig {
     pub seed: u64,
     /// Power model.
     pub power_model: PowerModel,
+    /// Cores' worth of dynamically placeable workload slots (for fleet-level
+    /// placement: VM arrivals, departures, migrations). `0.0` — the default —
+    /// means the node hosts no placeable work and every
+    /// [`CpuNode::attach_workload`] fails with
+    /// [`PlacementError::Unsupported`]. Placed VMs contend with the primary
+    /// workload for the node's physical cores (the primary has priority), so
+    /// overcommitting `placeable_cores` beyond the node's idle capacity is
+    /// how placement pressure becomes interference.
+    pub placeable_cores: f64,
 }
 
 impl Default for CpuNodeConfig {
@@ -50,6 +60,7 @@ impl Default for CpuNodeConfig {
             bad_ips_probability: 0.0,
             seed: 42,
             power_model: PowerModel::default(),
+            placeable_cores: 0.0,
         }
     }
 }
@@ -62,6 +73,22 @@ impl CpuNodeConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns the config with the given placeable-slot capacity (see
+    /// [`placeable_cores`](Self::placeable_cores)).
+    pub fn with_placeable_cores(mut self, cores: f64) -> Self {
+        self.placeable_cores = cores;
+        self
+    }
+}
+
+/// One dynamically placed VM resident on a [`CpuNode`].
+#[derive(Debug, Clone, Copy)]
+struct PlacedVm {
+    unit: WorkloadUnit,
+    /// Frequency-scaled core-seconds of compute delivered to the VM since it
+    /// was attached to *this* node (migrations reset the counter).
+    core_seconds: f64,
 }
 
 /// One point of the frequency/power trace kept for time-series figures
@@ -93,6 +120,8 @@ pub struct CpuNode {
     trace_enabled: bool,
     last_alpha: f64,
     frequency_changes: u64,
+    placed: Vec<PlacedVm>,
+    placed_core_seconds: f64,
 }
 
 impl std::fmt::Debug for CpuNode {
@@ -137,7 +166,74 @@ impl CpuNode {
             trace_enabled: false,
             last_alpha: 0.0,
             frequency_changes: 0,
+            placed: Vec::new(),
+            placed_core_seconds: 0.0,
         }
+    }
+
+    /// Attaches a dynamically placed VM to the node's placeable slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Unsupported`] when the node has no placeable
+    /// slots ([`CpuNodeConfig::placeable_cores`] is zero),
+    /// [`PlacementError::DuplicateWorkload`] when a unit with the same id is
+    /// already resident, and [`PlacementError::CapacityExceeded`] when the
+    /// unit does not fit the remaining slot capacity.
+    pub fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        if self.config.placeable_cores <= 0.0 {
+            return Err(PlacementError::Unsupported);
+        }
+        if self.placed.iter().any(|vm| vm.unit.id == unit.id) {
+            return Err(PlacementError::DuplicateWorkload(unit.id));
+        }
+        let used: f64 = self.placed.iter().map(|vm| vm.unit.cores).sum();
+        let free = self.config.placeable_cores - used;
+        if unit.cores > free + 1e-9 {
+            return Err(PlacementError::CapacityExceeded { requested: unit.cores, free });
+        }
+        self.placed.push(PlacedVm { unit, core_seconds: 0.0 });
+        Ok(())
+    }
+
+    /// Detaches a placed VM, returning its descriptor so a migration can
+    /// re-attach it elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::UnknownWorkload`] when no resident VM has
+    /// the id.
+    pub fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        match self.placed.iter().position(|vm| vm.unit.id == id) {
+            Some(pos) => Ok(self.placed.remove(pos).unit),
+            None => Err(PlacementError::UnknownWorkload(id)),
+        }
+    }
+
+    /// The node's current placeable state: slot capacity and resident VMs in
+    /// admission order.
+    pub fn placement(&self) -> NodePlacement {
+        NodePlacement {
+            capacity: self.config.placeable_cores,
+            resident: self.placed.iter().map(|vm| vm.unit).collect(),
+        }
+    }
+
+    /// Cores demanded by the currently placed VMs.
+    pub fn placed_cores(&self) -> f64 {
+        self.placed.iter().map(|vm| vm.unit.cores).sum()
+    }
+
+    /// Frequency-scaled core-seconds delivered to placed VMs over the whole
+    /// run, including VMs that have since departed.
+    pub fn placed_core_seconds(&self) -> f64 {
+        self.placed_core_seconds
+    }
+
+    /// Frequency-scaled core-seconds delivered to one resident VM since it
+    /// was attached to this node.
+    pub fn placed_progress(&self, id: WorkloadId) -> Option<f64> {
+        self.placed.iter().find(|vm| vm.unit.id == id).map(|vm| vm.core_seconds)
     }
 
     /// Enables recording of a (time, frequency, power, α) trace.
@@ -276,12 +372,38 @@ impl CpuNode {
         let freq_factor = self.current_ghz / self.config.nominal_ghz;
         self.workload.deliver(now, dt, granted, freq_factor);
 
-        // Counters.
         let secs = dt.as_secs_f64();
         let hz = self.current_ghz * 1e9;
+
+        // Placed VMs run on whatever the primary workload leaves idle (the
+        // primary has priority); an overcommitted slot budget therefore
+        // starves the placed VMs rather than the primary. The guard keeps
+        // the float arithmetic byte-identical to the placement-free node
+        // when nothing is placed.
+        let mut placed_granted = 0.0;
+        let mut placed_unhalted = 0.0;
+        let mut placed_stalled = 0.0;
+        if !self.placed.is_empty() {
+            let leftover = (self.config.cores as f64 - granted).max(0.0);
+            let placed_demand: f64 = self.placed.iter().map(|vm| vm.unit.cores).sum();
+            let share = if placed_demand > leftover { leftover / placed_demand } else { 1.0 };
+            for vm in &mut self.placed {
+                let vm_granted = vm.unit.cores * share;
+                let delivered = vm_granted * freq_factor * secs;
+                vm.core_seconds += delivered;
+                self.placed_core_seconds += delivered;
+                let vm_unhalted = vm_granted * hz * secs;
+                placed_granted += vm_granted;
+                placed_unhalted += vm_unhalted;
+                placed_stalled += vm_unhalted * (1.0 - vm.unit.cpu_bound_fraction);
+            }
+        }
+
+        // Counters (primary + placed VMs).
         let total_cycles = self.config.cores as f64 * hz * secs;
-        let unhalted = granted * hz * secs;
-        let stalled = unhalted * (1.0 - demand.cpu_bound_fraction);
+        let primary_unhalted = granted * hz * secs;
+        let unhalted = primary_unhalted + placed_unhalted;
+        let stalled = primary_unhalted * (1.0 - demand.cpu_bound_fraction) + placed_stalled;
         let instructions = (unhalted - stalled) * BASE_IPC;
         let delta = CpuCounters {
             instructions,
@@ -293,7 +415,7 @@ impl CpuNode {
         self.counters.accumulate(&delta);
 
         // Power.
-        let utilization = (granted / self.config.cores as f64).clamp(0.0, 1.0);
+        let utilization = ((granted + placed_granted) / self.config.cores as f64).clamp(0.0, 1.0);
         let watts = self.config.power_model.node_power_watts(
             self.current_ghz,
             utilization,
@@ -321,6 +443,18 @@ impl Environment for CpuNode {
             let dt = remaining.min(self.config.step);
             self.step_once(dt);
         }
+    }
+
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        CpuNode::attach_workload(self, unit)
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        CpuNode::detach_workload(self, id)
+    }
+
+    fn placement(&self) -> NodePlacement {
+        CpuNode::placement(self)
     }
 }
 
@@ -412,6 +546,90 @@ mod tests {
     fn rejects_unknown_frequency() {
         let mut n = node(OverclockWorkloadKind::Synthetic);
         n.set_frequency_ghz(3.6);
+    }
+
+    #[test]
+    fn placement_is_rejected_without_placeable_slots() {
+        let mut n = node(OverclockWorkloadKind::Synthetic);
+        let unit = WorkloadUnit::new(WorkloadId(0), 1.0);
+        assert_eq!(n.attach_workload(unit), Err(PlacementError::Unsupported));
+        assert_eq!(n.placement(), NodePlacement::none());
+    }
+
+    fn placeable_node(kind: OverclockWorkloadKind, placeable: f64) -> CpuNode {
+        CpuNode::new(
+            kind.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() }.with_placeable_cores(placeable),
+        )
+    }
+
+    #[test]
+    fn attach_detach_respects_capacity_and_identity() {
+        let mut n = placeable_node(OverclockWorkloadKind::Synthetic, 4.0);
+        let a = WorkloadUnit::new(WorkloadId(1), 2.5);
+        let b = WorkloadUnit::new(WorkloadId(2), 2.5);
+        n.attach_workload(a).unwrap();
+        assert_eq!(n.attach_workload(a), Err(PlacementError::DuplicateWorkload(a.id)));
+        assert!(matches!(n.attach_workload(b), Err(PlacementError::CapacityExceeded { .. })));
+        let placement = n.placement();
+        assert_eq!(placement.capacity, 4.0);
+        assert_eq!(placement.resident, vec![a]);
+        assert_eq!(n.placed_cores(), 2.5);
+        // Detaching frees the capacity and returns the descriptor intact.
+        assert_eq!(n.detach_workload(a.id), Ok(a));
+        assert_eq!(n.detach_workload(a.id), Err(PlacementError::UnknownWorkload(a.id)));
+        n.attach_workload(b).unwrap();
+        assert!(n.placement().hosts(b.id));
+    }
+
+    #[test]
+    fn placed_vms_consume_cores_and_make_progress() {
+        // DiskSpeed leaves most of the node idle, so a placed VM runs at its
+        // full demand and shows up in utilization, power, and counters.
+        let mut idle = placeable_node(OverclockWorkloadKind::DiskSpeed, 4.0);
+        let mut hosting = placeable_node(OverclockWorkloadKind::DiskSpeed, 4.0);
+        let vm = WorkloadUnit::new(WorkloadId(7), 4.0).with_cpu_bound_fraction(0.9);
+        hosting.attach_workload(vm).unwrap();
+        idle.advance_to(Timestamp::from_secs(10));
+        hosting.advance_to(Timestamp::from_secs(10));
+        assert!((hosting.placed_progress(vm.id).unwrap() - 40.0).abs() < 1e-6);
+        assert_eq!(hosting.placed_core_seconds(), hosting.placed_progress(vm.id).unwrap());
+        assert!(hosting.average_power_watts() > idle.average_power_watts());
+        let idle_sample = idle.take_counter_sample().unwrap();
+        let hosting_sample = hosting.take_counter_sample().unwrap();
+        assert!(hosting_sample.ips > idle_sample.ips * 2.0);
+        assert!(hosting_sample.alpha > idle_sample.alpha);
+    }
+
+    #[test]
+    fn primary_workload_has_priority_over_placed_vms() {
+        // ObjectStore wants 6.8 of 8 cores; a 4-core placed VM only gets the
+        // ~1.2 idle cores, so its progress is throttled while the primary's
+        // performance stays untouched.
+        let mut alone = placeable_node(OverclockWorkloadKind::ObjectStore, 4.0);
+        let mut contended = placeable_node(OverclockWorkloadKind::ObjectStore, 4.0);
+        contended.attach_workload(WorkloadUnit::new(WorkloadId(3), 4.0)).unwrap();
+        alone.advance_to(Timestamp::from_secs(10));
+        contended.advance_to(Timestamp::from_secs(10));
+        let progress = contended.placed_progress(WorkloadId(3)).unwrap();
+        assert!(progress > 0.0 && progress < 20.0, "placed VM must be starved, got {progress}");
+        assert_eq!(alone.performance().score, contended.performance().score);
+    }
+
+    #[test]
+    fn node_without_placed_vms_is_byte_identical_to_pre_placement_model() {
+        // The placement plumbing must not perturb a single float of the
+        // classic node: zero placeable slots and empty slots behave the same.
+        let mut classic = node(OverclockWorkloadKind::ObjectStore);
+        let mut placeable = placeable_node(OverclockWorkloadKind::ObjectStore, 4.0);
+        // Equalize the only intended config difference: core counts match.
+        classic.advance_to(Timestamp::from_secs(20));
+        placeable.advance_to(Timestamp::from_secs(20));
+        assert_eq!(classic.energy_joules().to_bits(), placeable.energy_joules().to_bits());
+        assert_eq!(
+            classic.take_counter_sample().unwrap().ips.to_bits(),
+            placeable.take_counter_sample().unwrap().ips.to_bits()
+        );
     }
 
     #[test]

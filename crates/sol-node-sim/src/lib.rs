@@ -46,7 +46,9 @@ pub mod prelude {
         MemoryNode, MemoryNodeConfig, MemoryWorkloadKind, RemoteFractionSample, ScanResult, Tier,
     };
     pub use crate::metrics::{normalize, percent_change, TimeSeries};
-    pub use crate::multi_node::{Coupling, MultiNode, MultiNodeBuilder};
+    pub use crate::multi_node::{
+        Coupling, MultiNode, MultiNodeBuilder, MEMORY_PRESSURE_LATENCY_GAIN,
+    };
     pub use crate::power::{EnergyMeter, PowerModel, FREQUENCY_LEVELS_GHZ, NOMINAL_FREQUENCY_GHZ};
     pub use crate::shared::Shared;
     pub use crate::workload::{

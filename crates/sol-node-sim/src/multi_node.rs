@@ -64,6 +64,7 @@
 //! ```
 
 use sol_core::error::RuntimeError;
+use sol_core::runtime::placement::{NodePlacement, PlacementError, WorkloadId, WorkloadUnit};
 use sol_core::runtime::Environment;
 use sol_core::time::Timestamp;
 
@@ -89,13 +90,26 @@ pub enum Coupling {
     /// Core frequency → memory access rate: overclocked cores issue more
     /// memory accesses per second. Requires the CPU and memory substrates.
     FrequencyToMemoryBandwidth,
+    /// Memory pressure → primary VM service time: the larger the fraction of
+    /// recent accesses served from the slow remote tier, the longer the
+    /// harvest-side primary VM's work stalls per request (its service time
+    /// scales by `1 + GAIN · remote_fraction`, see
+    /// [`MEMORY_PRESSURE_LATENCY_GAIN`]). Requires the memory and harvest
+    /// substrates.
+    MemoryPressureToLatency,
 }
+
+/// Gain of [`Coupling::MemoryPressureToLatency`]: remote accesses are a few
+/// times slower than local ones, so fully remote traffic (remote fraction 1)
+/// triples the primary VM's service time.
+pub const MEMORY_PRESSURE_LATENCY_GAIN: f64 = 2.0;
 
 impl Coupling {
     fn name(self) -> &'static str {
         match self {
             Coupling::FrequencyToDemand => "frequency→demand",
             Coupling::FrequencyToMemoryBandwidth => "frequency→memory-bandwidth",
+            Coupling::MemoryPressureToLatency => "memory-pressure→latency",
         }
     }
 }
@@ -161,6 +175,9 @@ impl MultiNodeBuilder {
             let satisfied = match coupling {
                 Coupling::FrequencyToDemand => self.cpu.is_some() && self.harvest.is_some(),
                 Coupling::FrequencyToMemoryBandwidth => self.cpu.is_some() && self.memory.is_some(),
+                Coupling::MemoryPressureToLatency => {
+                    self.memory.is_some() && self.harvest.is_some()
+                }
             };
             if !satisfied {
                 return Err(RuntimeError::InvalidConfig(format!(
@@ -227,26 +244,34 @@ impl MultiNode {
         &self.couplings
     }
 
-    /// Applies every declared coupling once (reading the current frequency),
-    /// without advancing time.
+    /// Applies every declared coupling once (reading the current source
+    /// state), without advancing time.
     fn apply_couplings(&mut self) {
         if self.couplings.is_empty() {
             return;
         }
-        let factor = match &self.cpu {
-            Some(cpu) => cpu.with(|n| n.frequency_ghz() / n.nominal_frequency_ghz()),
-            None => return,
-        };
+        let freq_factor = self
+            .cpu
+            .as_ref()
+            .map(|cpu| cpu.with(|n| n.frequency_ghz() / n.nominal_frequency_ghz()));
         for &coupling in &self.couplings {
             match coupling {
                 Coupling::FrequencyToDemand => {
-                    if let Some(harvest) = &self.harvest {
+                    if let (Some(factor), Some(harvest)) = (freq_factor, &self.harvest) {
                         harvest.with(|h| h.set_core_speed_factor(factor));
                     }
                 }
                 Coupling::FrequencyToMemoryBandwidth => {
-                    if let Some(memory) = &self.memory {
+                    if let (Some(factor), Some(memory)) = (freq_factor, &self.memory) {
                         memory.with(|m| m.set_bandwidth_factor(factor));
+                    }
+                }
+                Coupling::MemoryPressureToLatency => {
+                    if let (Some(memory), Some(harvest)) = (&self.memory, &self.harvest) {
+                        let remote = memory.with(|m| m.recent_remote_fraction());
+                        harvest.with(|h| {
+                            h.set_service_time_factor(1.0 + MEMORY_PRESSURE_LATENCY_GAIN * remote)
+                        });
                     }
                 }
             }
@@ -268,6 +293,29 @@ impl Environment for MultiNode {
         }
         for extra in &mut self.extras {
             extra.advance_to(now);
+        }
+    }
+
+    // Dynamic workload placement lands on the CPU substrate: placed VMs are
+    // compute consumers, contending with the primary workload for cores.
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        match &self.cpu {
+            Some(cpu) => cpu.with(|n| n.attach_workload(unit)),
+            None => Err(PlacementError::Unsupported),
+        }
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        match &self.cpu {
+            Some(cpu) => cpu.with(|n| n.detach_workload(id)),
+            None => Err(PlacementError::Unsupported),
+        }
+    }
+
+    fn placement(&self) -> NodePlacement {
+        match &self.cpu {
+            Some(cpu) => cpu.with(|n| n.placement()),
+            None => NodePlacement::none(),
         }
     }
 }
@@ -374,6 +422,71 @@ mod tests {
         let err =
             MultiNode::builder().cpu(cpu()).coupling(Coupling::FrequencyToMemoryBandwidth).build();
         assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+        // MemoryPressureToLatency needs both the memory and the harvest
+        // substrates — a CPU alone (or either half alone) is rejected.
+        for builder in [
+            MultiNode::builder().cpu(cpu()),
+            MultiNode::builder().memory(memory()),
+            MultiNode::builder().harvest(harvest()),
+        ] {
+            let err = builder.coupling(Coupling::MemoryPressureToLatency).build();
+            assert!(matches!(err, Err(RuntimeError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn memory_pressure_coupling_inflates_primary_service_time() {
+        let run = |coupled: bool| {
+            let (h, m) = (harvest(), memory());
+            let mut builder = MultiNode::builder().harvest(h.clone()).memory(m.clone());
+            if coupled {
+                builder = builder.coupling(Coupling::MemoryPressureToLatency);
+            }
+            let mut node = builder.build().unwrap();
+            // Warm up, then push the entire hot set to the remote tier so the
+            // remote-access ratio climbs.
+            node.advance_to(Timestamp::from_secs(5));
+            let hot: Vec<usize> = m.with(|n| n.hottest_batches());
+            m.with(|n| {
+                for &b in hot.iter().take(32) {
+                    n.migrate_to_remote(b);
+                }
+            });
+            // Advance in steps, as a runtime would: couplings are re-applied
+            // before every advance, tracking the rising remote fraction.
+            for secs in 6..=30 {
+                node.advance_to(Timestamp::from_secs(secs));
+            }
+            (h.with(|n| n.service_time_factor()), h.with(|n| n.mean_latency_ms()))
+        };
+        let (coupled_factor, coupled_latency) = run(true);
+        let (uncoupled_factor, uncoupled_latency) = run(false);
+        assert_eq!(uncoupled_factor, 1.0);
+        assert!(
+            coupled_factor > 1.3,
+            "remote pressure must inflate service time: {coupled_factor}"
+        );
+        assert!(coupled_latency > uncoupled_latency);
+    }
+
+    #[test]
+    fn placement_delegates_to_the_cpu_substrate() {
+        use sol_core::runtime::placement::{PlacementError, WorkloadId, WorkloadUnit};
+        let placeable = Shared::new(CpuNode::new(
+            OverclockWorkloadKind::DiskSpeed.build(8),
+            CpuNodeConfig { cores: 8, ..CpuNodeConfig::default() }.with_placeable_cores(4.0),
+        ));
+        let mut node =
+            MultiNode::builder().cpu(placeable.clone()).harvest(harvest()).build().unwrap();
+        let unit = WorkloadUnit::new(WorkloadId(11), 2.0);
+        node.attach_workload(unit).unwrap();
+        assert_eq!(node.placement().resident, vec![unit]);
+        assert!(placeable.with(|n| n.placement().hosts(unit.id)));
+        assert_eq!(node.detach_workload(unit.id), Ok(unit));
+        // Without a CPU substrate there is nowhere to place.
+        let mut cpuless = MultiNode::builder().harvest(harvest()).build().unwrap();
+        assert_eq!(cpuless.attach_workload(unit), Err(PlacementError::Unsupported));
+        assert_eq!(cpuless.placement().capacity, 0.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
+use sol_core::runtime::placement::{NodePlacement, PlacementError, WorkloadId, WorkloadUnit};
 use sol_core::runtime::Environment;
 use sol_core::time::Timestamp;
 
@@ -65,6 +66,20 @@ impl<T> Clone for Shared<T> {
 impl<T: Environment> Environment for Shared<T> {
     fn advance_to(&mut self, now: Timestamp) {
         self.inner.lock().advance_to(now);
+    }
+
+    // The placement hooks must forward too, or a shared placeable node would
+    // silently fall back to the "no placeable slots" defaults.
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        self.inner.lock().attach_workload(unit)
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        self.inner.lock().detach_workload(id)
+    }
+
+    fn placement(&self) -> NodePlacement {
+        self.inner.lock().placement()
     }
 }
 

@@ -1,0 +1,96 @@
+//! Fleet-level workload placement: the epoch barrier as a programmable
+//! coordination point.
+//!
+//! Eight placeable servers — each co-hosting the SmartOverclock and
+//! SmartHarvest learners — run under the harvest-aware `GreedyPacker`, which
+//! admits, drains, rebalances, and migrates VMs from a seeded arrival trace
+//! at every epoch boundary. The dashboard shows what the packer did and that
+//! the on-node learners' safeguard-activation rates hold steady under the
+//! migration churn (compared against a churn-free `NullController` run of
+//! the identical fleet).
+//!
+//! Run with: `cargo run --release --example placement`
+
+use sol::prelude::*;
+use sol_bench::placement_experiments::{churn_trace, PLACEABLE_CORES, PLACEMENT_FLEET_SEED};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = SimDuration::from_secs(60);
+    let preset = colocated_recipe(ColocationConfig {
+        placeable_cores: PLACEABLE_CORES,
+        ..ColocationConfig::default()
+    });
+    let config =
+        FleetConfig { nodes: 8, threads: 4, seed: PLACEMENT_FLEET_SEED, ..FleetConfig::default() };
+    let fleet = FleetRuntime::new(preset.recipe.clone(), config.clone())?;
+
+    // Churn-free baseline: the same fleet, nothing placed.
+    let baseline = fleet.run(horizon)?;
+
+    // Churning run: 32 VM arrivals over the horizon, packed worst-fit with
+    // rebalancing migrations.
+    let trace = churn_trace(32, horizon);
+    let mut packer = GreedyPacker::new(trace);
+    let report = fleet.run_with(&mut packer, horizon)?;
+
+    let p = &report.placement;
+    println!(
+        "fleet: {} nodes x {PLACEABLE_CORES} placeable cores, horizon {horizon}, {} sync epochs",
+        report.nodes.len(),
+        report.epochs
+    );
+    println!("\nplacement dashboard:");
+    println!("  commands issued     {}", p.commands);
+    println!("  admitted            {}", p.admitted);
+    println!("  departed            {}", p.departed);
+    println!("  migrated            {}", p.migrated);
+    println!("  failed placements   {}", p.failed_placements);
+    println!("  deferred arrivals   {}", packer.deferred_placements());
+    println!(
+        "  occupancy p50/p90/max  {:.2} / {:.2} / {:.2}",
+        p.occupancy.p50, p.occupancy.p90, p.occupancy.max
+    );
+    println!("  packing efficiency  {:.2}", p.packing_efficiency);
+
+    println!("\nper-node placement at the horizon:");
+    for node in &report.nodes {
+        let resident: Vec<String> =
+            node.workloads.iter().map(|u| format!("{}({:.1}c)", u.id, u.cores)).collect();
+        println!("  node {}  [{}]", node.node, resident.join(" "));
+    }
+
+    println!("\nsafety under churn (vs churn-free baseline):");
+    for (label, handle) in [
+        ("smart-overclock", AgentId::from(preset.overclock)),
+        ("smart-harvest", AgentId::from(preset.harvest)),
+    ] {
+        let churned = report.role(handle);
+        let calm = baseline.role(handle);
+        println!(
+            "  {label:<16} safeguard-rate {:.2} (baseline {:.2})  trips {} (baseline {})",
+            churned.safeguard_activation_rate,
+            calm.safeguard_activation_rate,
+            churned.totals.actuator.safeguard_triggers,
+            calm.totals.actuator.safeguard_triggers,
+        );
+    }
+    let p99 = report.metric("p99_latency_ms").expect("recipe reports p99");
+    let p99_base = baseline.metric("p99_latency_ms").expect("recipe reports p99");
+    println!("  p99 latency mean    {:.2} ms (baseline {:.2} ms)", p99.mean, p99_base.mean);
+
+    // The acceptance bar: real churn happened (at least one migration), and
+    // the whole report is byte-identical when the fleet is re-run with the
+    // same trace on a single worker thread.
+    assert!(p.admitted > 0, "the packer must admit VMs");
+    assert!(p.migrated > 0, "the packer must migrate at least one VM");
+    let mut packer_again = GreedyPacker::new(churn_trace(32, horizon));
+    let single = FleetRuntime::new(preset.recipe.clone(), FleetConfig { threads: 1, ..config })?
+        .run_with(&mut packer_again, horizon)?;
+    assert_eq!(
+        format!("{report:#?}"),
+        format!("{single:#?}"),
+        "placement runs must be byte-identical across worker-thread counts"
+    );
+    println!("\n4-thread and 1-thread placement runs produced byte-identical reports");
+    Ok(())
+}

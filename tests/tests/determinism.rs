@@ -271,6 +271,63 @@ fn identical_fleet_runs_are_byte_identical() {
     assert_eq!(run(), run());
 }
 
+/// `run(horizon)` is sugar for `run_with(&mut NullController, horizon)`:
+/// the two paths must produce byte-identical `FleetReport`s on a real
+/// three-agent fleet (this is the PR 4 behaviour-preservation bar for the
+/// programmable-barrier redesign).
+#[test]
+fn run_is_byte_identical_to_run_with_null_controller() {
+    let preset = three_agents_recipe(ThreeAgentConfig::default());
+    let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+    let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+    let horizon = SimDuration::from_secs(15);
+    let plain = debug_bytes(&fleet.run(horizon).unwrap());
+    let null = debug_bytes(&fleet.run_with(&mut NullController, horizon).unwrap());
+    assert_eq!(plain, null);
+}
+
+/// The placement acceptance bar: a `GreedyPacker` run with non-trivial
+/// migration churn is byte-identical across 1, 2, and 8 worker threads and
+/// across repeat runs — the controller runs on the coordinator against an
+/// index-sorted view, so the thread layout can never leak into placement
+/// decisions or node trajectories.
+#[test]
+fn greedy_packer_fleet_reports_are_byte_identical_across_worker_thread_counts() {
+    let horizon = SimDuration::from_secs(20);
+    let trace = || {
+        ArrivalTrace::generate(
+            0xBEEF,
+            &ArrivalTraceConfig {
+                workloads: 20,
+                span: horizon,
+                min_cores: 0.5,
+                max_cores: 2.5,
+                min_lifetime: SimDuration::from_secs(4),
+                max_lifetime: SimDuration::from_secs(9),
+            },
+        )
+    };
+    let run = |threads: usize| {
+        let preset = colocated_recipe(ColocationConfig {
+            placeable_cores: 6.0,
+            ..ColocationConfig::default()
+        });
+        let config = FleetConfig { nodes: 5, threads, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+        let mut packer = GreedyPacker::new(trace());
+        let report = fleet.run_with(&mut packer, horizon).unwrap();
+        assert!(report.placement.migrated > 0, "the pinned run must migrate: {:?}", {
+            &report.placement
+        });
+        assert!(report.placement.admitted > 0);
+        debug_bytes(&report)
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2-thread placement run diverged from single-threaded");
+    assert_eq!(single, run(8), "8-thread placement run diverged from single-threaded");
+    assert_eq!(single, run(1), "repeat placement runs must be byte-stable");
+}
+
 #[test]
 fn colocated_runs_are_byte_identical_per_agent() {
     let run = || {

@@ -65,6 +65,11 @@ fn fleet_example_runs() {
 }
 
 #[test]
+fn placement_example_runs() {
+    run_example("placement");
+}
+
+#[test]
 fn three_agents_example_runs() {
     run_example("three_agents");
 }
