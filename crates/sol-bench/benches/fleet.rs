@@ -11,7 +11,7 @@
 //!   CI uses 8).
 
 use sol_bench::fleet_experiments::scaling_table;
-use sol_bench::report::{env_u64, fmt, print_table};
+use sol_bench::report::{env_u64, fmt, json_rows, print_table};
 use sol_core::time::SimDuration;
 
 fn main() {
@@ -21,7 +21,28 @@ fn main() {
         [1usize, 8, 64, 256].into_iter().filter(|&n| n <= max_nodes).collect();
     let thread_counts = [1usize, 2, 4, 8];
 
-    let rows: Vec<Vec<String>> = scaling_table(&node_counts, &thread_counts, horizon)
+    let table = scaling_table(&node_counts, &thread_counts, horizon);
+
+    // The machine-readable artifact CI uploads: one flat object per
+    // nodes × threads combination.
+    let json = json_rows(
+        &table
+            .iter()
+            .map(|r| {
+                vec![
+                    ("nodes", r.nodes as f64),
+                    ("threads", r.threads as f64),
+                    ("wall_ms_per_virtual_minute", r.wall_ms_per_virtual_minute),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_fleet.json ({} rows)", table.len()),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+
+    let rows: Vec<Vec<String>> = table
         .into_iter()
         .map(|r| {
             vec![

@@ -15,6 +15,7 @@
 //! | `colocation` | beyond the paper: agents co-located on one node | [`colocation_experiments`] |
 //! | `fleet` | beyond the paper: recipe-stamped fleets under one clock | [`fleet_experiments`] |
 //! | `placement` | beyond the paper: fleet-level VM placement under churn | [`placement_experiments`] |
+//! | `failure` | beyond the paper: placement churn under crash/join/drain chaos | [`fleet_experiments`] |
 //! | `micro` | framework/ML/runtime micro-benchmarks (Criterion) | — |
 //!
 //! Experiments run on the deterministic simulation runtime, so the printed

@@ -62,6 +62,30 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Renders rows of named numeric fields as a JSON array of flat objects —
+/// the machine-readable artifact (`BENCH_*.json`) CI uploads alongside the
+/// printed tables. Hand-rolled on purpose: the repo vendors no JSON crate,
+/// and flat `name: number` objects need nothing more.
+///
+/// Non-finite values (JSON has no NaN/Infinity) are emitted as `null`.
+pub fn json_rows(rows: &[Vec<(&str, f64)>]) -> String {
+    let object = |fields: &[(&str, f64)]| {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(name, value)| {
+                if value.is_finite() {
+                    format!("\"{name}\": {value}")
+                } else {
+                    format!("\"{name}\": null")
+                }
+            })
+            .collect();
+        format!("  {{{}}}", body.join(", "))
+    };
+    let body: Vec<String> = rows.iter().map(|fields| object(fields)).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +119,18 @@ mod tests {
             assert!(!cell.is_empty() && cell.chars().all(|c| c == '-'), "bad cell {cell:?}");
             assert!(cell.len() >= 3, "GFM needs at least three dashes per cell");
         }
+    }
+
+    #[test]
+    fn json_rows_render_flat_objects() {
+        let rendered = json_rows(&[
+            vec![("nodes", 8.0), ("wall_ms", 1.25)],
+            vec![("nodes", 64.0), ("wall_ms", f64::NAN)],
+        ]);
+        assert_eq!(
+            rendered,
+            "[\n  {\"nodes\": 8, \"wall_ms\": 1.25},\n  {\"nodes\": 64, \"wall_ms\": null}\n]\n"
+        );
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub mod prelude {
         FleetAgentReport, FleetConfig, FleetNodeReport, FleetReport, FleetRuntime, MetricSummary,
         NodeSeed, Percentiles, PlacementStats, RoleAggregate,
     };
+    pub use crate::runtime::lifecycle::{
+        FaultEvent, FaultPlan, FaultPlanConfig, LifecycleError, LifecycleEvent, NodeRecord,
+        NodeRegistry, NodeState,
+    };
     pub use crate::runtime::node::{
         AgentDriver, AgentId, AgentReport, LoopAgent, NodeReport, NodeRuntime,
     };

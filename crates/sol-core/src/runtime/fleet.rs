@@ -23,6 +23,13 @@
 //! [`placement`](crate::runtime::placement) module. [`FleetRuntime::run`] is
 //! sugar for running with the do-nothing [`NullController`].
 //!
+//! Node availability is programmable through the same plan: lifecycle events
+//! (crash / join / drain — see the [`lifecycle`](crate::runtime::lifecycle)
+//! module) are applied at the barrier before any placement command, tracked
+//! in a versioned [`NodeRegistry`], and reported per node. A seeded
+//! [`FaultPlan`] injects the same events without controller cooperation via
+//! [`FleetRuntime::run_with_faults`].
+//!
 //! # Determinism
 //!
 //! A fleet run is a pure function of `(recipe, FleetConfig, horizon)`:
@@ -100,10 +107,11 @@ use crossbeam::channel::{self, Receiver, Sender};
 
 use crate::error::{ReportError, RuntimeError};
 use crate::runtime::builder::ScenarioRecipe;
+use crate::runtime::lifecycle::{FaultPlan, LifecycleEvent, NodeRecord, NodeRegistry, NodeState};
 use crate::runtime::node::{AgentId, NodeRuntime};
 use crate::runtime::placement::{
-    AgentTelemetry, FleetCommand, FleetController, FleetView, NodeView, NullController, WorkloadId,
-    WorkloadUnit,
+    AgentTelemetry, FleetCommand, FleetController, FleetView, NodePlacement, NodeView,
+    NullController, PlacementPlan, WorkloadId, WorkloadUnit,
 };
 use crate::runtime::Environment;
 use crate::stats::AgentStats;
@@ -230,7 +238,13 @@ pub struct FleetNodeReport {
     /// Workload units resident on the node when it stopped (empty for
     /// environments without placeable slots).
     pub workloads: Vec<WorkloadUnit>,
-    /// The virtual time at which the node stopped.
+    /// The node's final lifecycle record: its state when the run ended (or
+    /// when it retired), the record version, and the join/update epochs.
+    /// [`NodeRecord::initial`] for a node that saw no lifecycle events.
+    pub lifecycle: NodeRecord,
+    /// The virtual time at which the node stopped. For a crashed or drained
+    /// node this is the boundary at which it retired, measured on the node's
+    /// own clock (which starts at zero when the node joins).
     pub ended_at: Timestamp,
 }
 
@@ -339,9 +353,16 @@ pub struct PlacementStats {
     /// Workload units successfully migrated between nodes.
     pub migrated: u64,
     /// Commands that failed against the hosting environment: rejected
-    /// admissions (capacity, unsupported environment, duplicate id), detaches
-    /// of unknown units, and migrations whose either half failed.
+    /// admissions (capacity, unsupported environment, duplicate id, or a
+    /// non-`Active` target node), detaches of unknown units, migrations
+    /// whose either half failed — plus, at the end of the run, one count for
+    /// every crash-displaced unit that was never re-placed.
     pub failed_placements: u64,
+    /// Workload units displaced by node crashes.
+    pub displaced: u64,
+    /// Displaced units successfully re-placed onto a live node (a subset of
+    /// [`admitted`](Self::admitted)).
+    pub replaced: u64,
     /// Distribution over nodes of each node's mean occupancy (used fraction
     /// of its placeable capacity, averaged over the epoch barriers).
     /// [`Percentiles::ZEROED`] when no environment has placeable capacity.
@@ -359,6 +380,8 @@ impl Default for PlacementStats {
             departed: 0,
             migrated: 0,
             failed_placements: 0,
+            displaced: 0,
+            replaced: 0,
             occupancy: Percentiles::ZEROED,
             packing_efficiency: 0.0,
         }
@@ -373,10 +396,13 @@ pub struct FleetReport {
     pub nodes: Vec<FleetNodeReport>,
     /// Per-role aggregates, in agent registration order. Index with the
     /// [`AgentHandle`](crate::runtime::builder::AgentHandle)s the recipe's
-    /// builder returned, via [`role`](Self::role).
+    /// builder returned, via [`role`](Self::role). Crashed nodes are
+    /// excluded from the fold (their partial counters would skew the safety
+    /// dashboard); their stats remain visible in [`nodes`](Self::nodes)
+    /// under the node's final lifecycle state.
     pub roles: Vec<RoleAggregate>,
     /// Summaries of the recipe-extracted environment metrics, in first-seen
-    /// order.
+    /// order. Crashed nodes are excluded, as for [`roles`](Self::roles).
     pub metrics: Vec<MetricSummary>,
     /// Placement outcomes (all-zero for a [`NullController`] run over
     /// capacity-free environments).
@@ -418,11 +444,34 @@ impl FleetReport {
     }
 }
 
+/// One lifecycle change a worker must apply to its shard.
+enum LifecycleInstruction {
+    /// Stop running `node` now: summarize it and ship its resident units
+    /// back (the coordinator decides whether they are displaced or must be
+    /// empty). Sent for crashes and for completed drains.
+    Retire {
+        /// The global index of the node to retire.
+        node: usize,
+    },
+    /// Stamp a fresh node from the recipe. Its local clock starts at zero at
+    /// the current boundary (`start`), so the recipe sees the same virgin
+    /// timeline an initial node saw at fleet time zero.
+    Join {
+        /// The derived seed (and global index) of the new node.
+        seed: NodeSeed,
+        /// The fleet time at which the node joins.
+        start: Timestamp,
+    },
+}
+
 /// What a worker sends back to the coordinator.
 enum WorkerMsg {
     /// All nodes owned by the worker reached the current epoch boundary;
     /// carries their barrier telemetry snapshots.
     EpochDone(Vec<NodeView>),
+    /// Results of the lifecycle phase: for each retired node, the workload
+    /// units that were resident when it stopped.
+    LifecycleDone(Vec<(usize, Vec<WorkloadUnit>)>),
     /// Results of the detach phase, tagged back to the coordinator's command
     /// table (`None` = the unit was not resident).
     Detached(Vec<(usize, Option<WorkloadUnit>)>),
@@ -436,9 +485,14 @@ enum WorkerMsg {
 }
 
 /// What the coordinator sends to a worker at each epoch boundary, in this
-/// fixed order: the detach phase, the attach phase, the rollback phase, then
-/// (except after the final boundary) the barrier release.
+/// fixed order: the lifecycle phase, the detach phase, the attach phase, the
+/// rollback phase, then (except after the final boundary) the barrier
+/// release.
 enum CoordMsg {
+    /// Lifecycle phase: retire crashed/drained nodes, stamp joined ones —
+    /// execute in order, echo each retired node's residents. Sent to every
+    /// worker at every boundary (usually empty).
+    Lifecycle(Vec<LifecycleInstruction>),
     /// Detach phase: `(tag, node, workload)` — execute in order, echo the tag.
     Detach(Vec<(usize, usize, WorkloadId)>),
     /// Attach phase: `(tag, node, unit, is_migration)` — execute in order,
@@ -536,15 +590,26 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// epoch (no node enters epoch `k+1` before every node finished epoch
     /// `k`). At every epoch boundary the controller receives a [`FleetView`]
     /// of per-node telemetry and placement (folded in node-index order) and
-    /// returns a [`PlacementPlan`](crate::runtime::placement::PlacementPlan);
+    /// returns a [`PlacementPlan`];
     /// the plan is applied before the barrier is released — departures and
     /// migration-detaches first, then admissions, then migration-attaches,
     /// each phase stable-sorted by target node index — so freed capacity is
     /// available to the same barrier's admissions and results never depend
     /// on the worker-thread layout.
     ///
+    /// The plan's lifecycle events are applied first, before any placement
+    /// command: a crash retires the node and moves its residents into the
+    /// displaced pool surfaced by the next [`FleetView`], a join stamps a
+    /// fresh node from the recipe at the next free index (its
+    /// [`NodeSeed`] is collision-free by construction), and a drain flips
+    /// the node to `Draining` — it rejects admissions from this boundary on
+    /// and retires as `Drained` once a barrier snapshot shows it empty.
+    /// Every change is validated against the [`NodeRegistry`] state machine;
+    /// an illegal transition aborts the run.
+    ///
     /// Commands that fail against a node's environment (capacity exceeded,
-    /// unknown unit, environment without placeable slots) are counted in
+    /// unknown unit, environment without placeable slots) or against the
+    /// registry (admitting to a non-`Active` node) are counted in
     /// [`PlacementStats::failed_placements`], not fatal. A migration whose
     /// attach half fails is rolled back — the unit is re-attached to its
     /// source node, whose capacity the detach just freed — so a rejected
@@ -554,8 +619,9 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     ///
     /// Returns [`RuntimeError::EmptyHorizon`] if `horizon` is zero,
     /// [`RuntimeError::InvalidConfig`] if `epoch` exceeds `horizon`, if the
-    /// controller addressed a node index outside the fleet, or if the recipe
-    /// produced differing agent populations across nodes, and
+    /// controller addressed a node index outside the fleet, if it issued an
+    /// illegal lifecycle transition, or if the recipe produced differing
+    /// agent populations across nodes, and
     /// [`RuntimeError::WorkerPanicked`] if a worker thread died (e.g. the
     /// recipe panicked).
     pub fn run_with(
@@ -592,8 +658,9 @@ impl<E: Environment + 'static> FleetRuntime<E> {
             handles.push(handle);
         }
 
-        let mut node_reports: Vec<Option<FleetNodeReport>> =
-            (0..self.config.nodes).map(|_| None).collect();
+        let mut node_reports: Vec<Option<FleetNodeReport>> = Vec::new();
+        let mut registry = NodeRegistry::new(self.config.nodes);
+        let mut displaced_pool: Vec<WorkloadUnit> = Vec::new();
         let mut placement = PlacementStats::default();
         let mut occupancy_sums = vec![0.0f64; self.config.nodes];
         let mut packing_sum = 0.0f64;
@@ -601,14 +668,14 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         let died = || RuntimeError::WorkerPanicked("fleet worker");
 
         // Epoch barrier: collect one EpochDone (with telemetry snapshots) per
-        // worker, invoke the controller, apply its plan in two phases, then
-        // release all workers into the next epoch. A worker death (recv
-        // error) aborts the protocol; dropping our command senders unblocks
-        // the remaining workers.
+        // worker, invoke the controller, apply its plan — lifecycle events
+        // first, then the placement phases — and release all workers into
+        // the next epoch. A worker death (recv error) aborts the protocol;
+        // dropping our command senders unblocks the remaining workers.
         'protocol: {
             for (k, &boundary) in boundaries.iter().enumerate() {
-                let mut views: Vec<Option<NodeView>> =
-                    (0..self.config.nodes).map(|_| None).collect();
+                let epoch = k as u64;
+                let mut views: Vec<Option<NodeView>> = (0..registry.len()).map(|_| None).collect();
                 for (_, done_rx) in &links {
                     match done_rx.recv() {
                         Ok(WorkerMsg::EpochDone(snapshots)) => {
@@ -623,10 +690,65 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         }
                     }
                 }
+
+                // Registry bookkeeping from the fresh snapshots, before the
+                // controller sees the view: nodes that joined at an earlier
+                // boundary have run a full epoch and become Active; draining
+                // nodes observed empty retire as Drained this boundary.
+                let mut drain_retires: Vec<usize> = Vec::new();
+                for (index, view_slot) in views.iter().enumerate().take(registry.len()) {
+                    let record = registry.records()[index];
+                    match record.state {
+                        NodeState::Joining if record.joined_epoch < epoch => {
+                            registry
+                                .transition(index, NodeState::Active, epoch)
+                                .expect("joining -> active is legal");
+                        }
+                        NodeState::Draining
+                            if view_slot
+                                .as_ref()
+                                .is_some_and(|v| v.placement.resident.is_empty()) =>
+                        {
+                            registry
+                                .transition(index, NodeState::Drained, epoch)
+                                .expect("draining -> drained is legal");
+                            drain_retires.push(index);
+                        }
+                        _ => {}
+                    }
+                }
+
+                // The controller's view: live nodes carry their snapshots,
+                // retired nodes appear as tombstones, every entry is stamped
+                // with its registry state, and the crash-displaced pool rides
+                // along so controllers must confront unplaced work.
                 let view = FleetView {
                     now: boundary,
-                    epoch: k as u64,
-                    nodes: views.into_iter().map(|v| v.expect("every node reported")).collect(),
+                    epoch,
+                    nodes: views
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, snapshot)| {
+                            let state = registry.records()[index].state;
+                            match snapshot {
+                                Some(mut v) => {
+                                    v.state = state;
+                                    v
+                                }
+                                None => {
+                                    debug_assert!(!state.is_live(), "live node must snapshot");
+                                    NodeView {
+                                        node: index,
+                                        agents: Vec::new(),
+                                        telemetry: Vec::new(),
+                                        placement: NodePlacement::none(),
+                                        state,
+                                    }
+                                }
+                            }
+                        })
+                        .collect(),
+                    displaced: displaced_pool.clone(),
                 };
 
                 // Occupancy bookkeeping from the barrier snapshots (taken
@@ -644,38 +766,155 @@ impl<E: Environment + 'static> FleetRuntime<E> {
 
                 let plan = controller.plan(&view);
                 placement.commands += plan.len() as u64;
+                let (commands, lifecycle_events) = plan.into_parts();
 
-                // Partition the plan into the detach and attach phases, each
-                // stable-sorted by target node. `detach_info[tag]` remembers
-                // where a successfully detached unit migrates to.
+                // Lifecycle phase: apply the plan's events to the registry —
+                // an illegal transition is a loud error, never a silent
+                // repair — and turn them into per-worker instructions.
+                // Completed drains retire first, then plan events in issue
+                // order.
+                let mut instructions: Vec<LifecycleInstruction> = Vec::new();
+                let mut crash_retires: Vec<usize> = Vec::new();
+                for &node in &drain_retires {
+                    instructions.push(LifecycleInstruction::Retire { node });
+                }
+                for event in lifecycle_events {
+                    let outcome = match event {
+                        LifecycleEvent::Crash { node } => {
+                            registry.transition(node, NodeState::Crashed, epoch).map(|()| {
+                                crash_retires.push(node);
+                                instructions.push(LifecycleInstruction::Retire { node });
+                            })
+                        }
+                        LifecycleEvent::Drain { node } => {
+                            registry.transition(node, NodeState::Draining, epoch)
+                        }
+                        LifecycleEvent::Join => {
+                            let index = registry.join(epoch);
+                            instructions.push(LifecycleInstruction::Join {
+                                seed: NodeSeed::derive(self.config.seed, index as u64),
+                                start: boundary,
+                            });
+                            Ok(())
+                        }
+                    };
+                    if let Err(e) = outcome {
+                        error = Some(RuntimeError::InvalidConfig(e.to_string()));
+                        break 'protocol;
+                    }
+                }
+                occupancy_sums.resize(registry.len(), 0.0);
+                for (w, (cmd_tx, _)) in links.iter().enumerate() {
+                    let batch: Vec<LifecycleInstruction> = instructions
+                        .iter()
+                        .filter(|instruction| {
+                            let node = match instruction {
+                                LifecycleInstruction::Retire { node } => *node,
+                                LifecycleInstruction::Join { seed, .. } => seed.index() as usize,
+                            };
+                            owner(node) == w
+                        })
+                        .map(|instruction| match instruction {
+                            LifecycleInstruction::Retire { node } => {
+                                LifecycleInstruction::Retire { node: *node }
+                            }
+                            LifecycleInstruction::Join { seed, start } => {
+                                LifecycleInstruction::Join { seed: *seed, start: *start }
+                            }
+                        })
+                        .collect();
+                    if cmd_tx.send(CoordMsg::Lifecycle(batch)).is_err() {
+                        error = Some(died());
+                        break 'protocol;
+                    }
+                }
+                let mut retired: Vec<(usize, Vec<WorkloadUnit>)> = Vec::new();
+                for (_, done_rx) in &links {
+                    match done_rx.recv() {
+                        Ok(WorkerMsg::LifecycleDone(outcomes)) => retired.extend(outcomes),
+                        _ => {
+                            error = Some(died());
+                            break 'protocol;
+                        }
+                    }
+                }
+                // Sorted by node index so the displaced pool's order is
+                // independent of how nodes shard across workers.
+                retired.sort_by_key(|&(node, _)| node);
+                for (node, residents) in retired {
+                    if crash_retires.contains(&node) {
+                        // Crashed: residents are displaced and must be
+                        // re-placed by the controller.
+                        placement.displaced += residents.len() as u64;
+                        displaced_pool.extend(residents);
+                    } else if !residents.is_empty() {
+                        // A node only retires as Drained after a barrier
+                        // snapshot showed it empty, and nothing may attach
+                        // in between; resident units here mean the protocol
+                        // is broken.
+                        error = Some(RuntimeError::InvalidConfig(format!(
+                            "drained node {node} still hosts {} workload unit(s)",
+                            residents.len()
+                        )));
+                        break 'protocol;
+                    }
+                }
+
+                // Partition the placement commands into the detach and attach
+                // phases, each stable-sorted by target node.
+                // `detach_targets[tag]` remembers where a successfully
+                // detached unit migrates to. Commands are validated against
+                // the registry: an out-of-range index is a loud error, while
+                // a command against a node in the wrong lifecycle state
+                // (admissions and migration targets need `Active`; sources
+                // need a live node) counts as a failed placement — this is
+                // how draining and joining nodes reject admissions, and how
+                // commands racing a same-plan crash fail instead of
+                // resurrecting a dead node.
                 let mut detaches: Vec<(usize, WorkloadId)> = Vec::new();
                 let mut detach_targets: Vec<Option<usize>> = Vec::new();
                 let mut admissions: Vec<(usize, WorkloadUnit)> = Vec::new();
-                for command in plan.into_commands() {
+                let fleet_size = registry.len();
+                for command in commands {
                     let check = |node: usize| -> Result<usize, RuntimeError> {
-                        if node < self.config.nodes {
+                        if node < fleet_size {
                             Ok(node)
                         } else {
                             Err(RuntimeError::InvalidConfig(format!(
-                                "controller addressed node {node} of a {}-node fleet",
-                                self.config.nodes
+                                "controller addressed node {node} of a {fleet_size}-node fleet"
                             )))
                         }
                     };
+                    let state = |node: usize| registry.records()[node].state;
                     let outcome = (|| match command {
                         FleetCommand::Admit { node, unit } => {
-                            admissions.push((check(node)?, unit));
+                            let node = check(node)?;
+                            if state(node).is_active() {
+                                admissions.push((node, unit));
+                            } else {
+                                placement.failed_placements += 1;
+                            }
                             Ok(())
                         }
                         FleetCommand::Depart { node, workload } => {
-                            detaches.push((check(node)?, workload));
-                            detach_targets.push(None);
+                            let node = check(node)?;
+                            if state(node).is_live() {
+                                detaches.push((node, workload));
+                                detach_targets.push(None);
+                            } else {
+                                placement.failed_placements += 1;
+                            }
                             Ok(())
                         }
                         FleetCommand::Migrate { from, to, workload } => {
                             let to = check(to)?;
-                            detaches.push((check(from)?, workload));
-                            detach_targets.push(Some(to));
+                            let from = check(from)?;
+                            if state(from).is_live() && state(to).is_active() {
+                                detaches.push((from, workload));
+                                detach_targets.push(Some(to));
+                            } else {
+                                placement.failed_placements += 1;
+                            }
                             Ok(())
                         }
                     })();
@@ -781,6 +1020,16 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         restores.push((source, unit));
                     }
                 }
+
+                // Displaced units whose re-admission landed leave the pool.
+                for (tag, (_, unit, source)) in attach_table.iter().enumerate() {
+                    if source.is_none() && failed_tags.binary_search(&tag).is_err() {
+                        if let Some(pos) = displaced_pool.iter().position(|u| u.id == unit.id) {
+                            displaced_pool.remove(pos);
+                            placement.replaced += 1;
+                        }
+                    }
+                }
                 for (w, (cmd_tx, _)) in links.iter().enumerate() {
                     let batch: Vec<(usize, WorkloadUnit)> =
                         restores.iter().filter(|&&(node, _)| owner(node) == w).copied().collect();
@@ -812,6 +1061,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     }
                 }
             }
+            node_reports.resize_with(registry.len(), || None);
             for (_, done_rx) in &links {
                 match done_rx.recv() {
                     Ok(WorkerMsg::Finished(reports)) => {
@@ -848,10 +1098,42 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         placement.occupancy =
             Percentiles::of(&occupancy_sums.iter().map(|s| s / epochs).collect::<Vec<f64>>());
         placement.packing_efficiency = packing_sum / epochs;
+        // Displaced units nobody re-placed did not survive the run; that must
+        // be loud in the stats, not silently forgotten with the pool.
+        placement.failed_placements += displaced_pool.len() as u64;
 
-        let nodes: Vec<FleetNodeReport> =
+        let mut nodes: Vec<FleetNodeReport> =
             node_reports.into_iter().map(|r| r.expect("every node reported")).collect();
-        aggregate(nodes, boundaries.len() as u64, placement)
+        for node in &mut nodes {
+            node.lifecycle = registry.records()[node.node];
+        }
+        let ended_at = *boundaries.last().expect("non-empty epoch grid");
+        aggregate(nodes, boundaries.len() as u64, placement, ended_at)
+    }
+
+    /// Runs the fleet under a [`FleetController`] while a seeded
+    /// [`FaultPlan`] injects availability events (crashes, joins, drains) at
+    /// epoch boundaries, without the controller's cooperation: at every
+    /// boundary the plan's due events are appended after the controller's
+    /// own lifecycle events. An empty fault plan makes this byte-identical
+    /// to [`run_with`](Self::run_with).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_with`](Self::run_with). A fault plan event that lands on a
+    /// node in an incompatible state (e.g. crashing a node the controller
+    /// already drained to completion) is an
+    /// [`RuntimeError::InvalidConfig`] — generate plans with
+    /// [`FaultPlan::generate`], which samples crash/drain targets without
+    /// replacement, to avoid this.
+    pub fn run_with_faults(
+        &self,
+        controller: &mut dyn FleetController,
+        faults: FaultPlan,
+        horizon: SimDuration,
+    ) -> Result<FleetReport, RuntimeError> {
+        let mut injector = FaultInjector { inner: controller, faults };
+        self.run_with(&mut injector, horizon)
     }
 
     /// Runs a single node of the fleet inline on the calling thread, with the
@@ -889,6 +1171,24 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     }
 }
 
+/// Appends a [`FaultPlan`]'s due events to the wrapped controller's plan at
+/// every boundary — the adapter behind
+/// [`FleetRuntime::run_with_faults`].
+struct FaultInjector<'c> {
+    inner: &'c mut dyn FleetController,
+    faults: FaultPlan,
+}
+
+impl FleetController for FaultInjector<'_> {
+    fn plan(&mut self, view: &FleetView) -> PlacementPlan {
+        let mut plan = self.inner.plan(view);
+        for event in self.faults.due(view.now) {
+            plan.lifecycle(event);
+        }
+        plan
+    }
+}
+
 /// The epoch grid: `epoch, 2·epoch, …` clamped to the horizon, ending
 /// exactly at the horizon.
 fn epoch_boundaries(horizon: SimDuration, epoch: SimDuration) -> Vec<Timestamp> {
@@ -904,10 +1204,30 @@ fn epoch_boundaries(horizon: SimDuration, epoch: SimDuration) -> Vec<Timestamp> 
     }
 }
 
+/// One node of a worker's shard: its seed, its live runtime, and the fleet
+/// time at which its local clock started (non-zero for nodes joined
+/// mid-run).
+struct ShardNode<E: Environment + 'static> {
+    seed: NodeSeed,
+    runtime: NodeRuntime<E>,
+    start: Timestamp,
+}
+
+impl<E: Environment + 'static> ShardNode<E> {
+    /// Maps fleet time onto this node's local clock. A joined node starts a
+    /// virgin timeline at its join boundary, so the recipe's schedules and
+    /// seed-derived phases behave exactly as on a node present from the
+    /// start.
+    fn local(&self, fleet_time: Timestamp) -> Timestamp {
+        Timestamp::ZERO + fleet_time.duration_since(self.start)
+    }
+}
+
 /// Worker body: advance every owned node to each epoch boundary, ship the
-/// barrier snapshots, execute the coordinator's detach, attach, and rollback
-/// phases, wait for the release, repeat; then finish the nodes and ship
-/// their summaries home.
+/// barrier snapshots, execute the coordinator's lifecycle, detach, attach,
+/// and rollback phases, wait for the release, repeat; then finish the
+/// surviving nodes and ship their summaries home together with those of the
+/// nodes retired mid-run.
 fn worker<E: Environment + 'static>(
     recipe: ScenarioRecipe<E>,
     seeds: Vec<NodeSeed>,
@@ -915,35 +1235,70 @@ fn worker<E: Environment + 'static>(
     cmd_rx: Receiver<CoordMsg>,
     done_tx: Sender<WorkerMsg>,
 ) {
-    let mut nodes: Vec<(NodeSeed, NodeRuntime<E>)> =
-        seeds.into_iter().map(|seed| (seed, recipe.instantiate(&seed))).collect();
+    let mut nodes: Vec<ShardNode<E>> = seeds
+        .into_iter()
+        .map(|seed| ShardNode { runtime: recipe.instantiate(&seed), seed, start: Timestamp::ZERO })
+        .collect();
+    // Reports of nodes retired mid-run (crashed or drained), shipped home
+    // with the survivors' when the run ends.
+    let mut finished: Vec<FleetNodeReport> = Vec::new();
     // Global node index → position in this worker's shard.
-    let position = |nodes: &[(NodeSeed, NodeRuntime<E>)], index: usize| -> Option<usize> {
-        nodes.iter().position(|(seed, _)| seed.index() as usize == index)
+    let position = |nodes: &[ShardNode<E>], index: usize| -> Option<usize> {
+        nodes.iter().position(|node| node.seed.index() as usize == index)
     };
     for (k, &boundary) in boundaries.iter().enumerate() {
-        for (_, runtime) in &mut nodes {
-            runtime.run_until(boundary);
+        for node in &mut nodes {
+            let until = node.local(boundary);
+            node.runtime.run_until(until);
         }
         let snapshots = nodes
             .iter()
-            .map(|(seed, runtime)| NodeView {
-                node: seed.index() as usize,
-                agents: runtime
+            .map(|node| NodeView {
+                node: node.seed.index() as usize,
+                agents: node
+                    .runtime
                     .agent_snapshots()
                     .into_iter()
                     .map(|(name, stats)| AgentTelemetry { name, stats })
                     .collect(),
-                telemetry: recipe.extract_telemetry(runtime.environment()),
-                placement: runtime.placement(),
+                telemetry: recipe.extract_telemetry(node.runtime.environment()),
+                placement: node.runtime.placement(),
+                // Placeholder: the coordinator stamps the registry state
+                // onto every view before the controller sees it.
+                state: NodeState::Active,
             })
             .collect();
         if done_tx.send(WorkerMsg::EpochDone(snapshots)).is_err() {
             return;
         }
-        // Detach phase. A closed channel at any point means the run was
+        // Lifecycle phase: retire crashed and drained nodes (reporting the
+        // units still resident on them) and stamp freshly joined nodes out
+        // of the recipe. A closed channel at any point means the run was
         // aborted (another worker died, or the controller erred) — exit
         // quietly.
+        let instructions = match cmd_rx.recv() {
+            Ok(CoordMsg::Lifecycle(batch)) => batch,
+            _ => return,
+        };
+        let mut outcomes: Vec<(usize, Vec<WorkloadUnit>)> = Vec::new();
+        for instruction in instructions {
+            match instruction {
+                LifecycleInstruction::Retire { node } => {
+                    let pos = position(&nodes, node).expect("retired node is owned and live");
+                    let shard = nodes.remove(pos);
+                    let residents = shard.runtime.placement().resident;
+                    finished.push(summarize(&recipe, shard.seed, shard.runtime));
+                    outcomes.push((node, residents));
+                }
+                LifecycleInstruction::Join { seed, start } => {
+                    nodes.push(ShardNode { runtime: recipe.instantiate(&seed), seed, start });
+                }
+            }
+        }
+        if done_tx.send(WorkerMsg::LifecycleDone(outcomes)).is_err() {
+            return;
+        }
+        // Detach phase.
         let detaches = match cmd_rx.recv() {
             Ok(CoordMsg::Detach(batch)) => batch,
             _ => return,
@@ -952,7 +1307,7 @@ fn worker<E: Environment + 'static>(
             .into_iter()
             .map(|(tag, index, workload)| {
                 let unit = position(&nodes, index)
-                    .and_then(|pos| nodes[pos].1.detach_workload(workload).ok());
+                    .and_then(|pos| nodes[pos].runtime.detach_workload(workload).ok());
                 (tag, unit)
             })
             .collect();
@@ -969,7 +1324,7 @@ fn worker<E: Environment + 'static>(
         let mut failed: Vec<usize> = Vec::new();
         for (tag, index, unit, is_migration) in attaches {
             let attached = position(&nodes, index)
-                .map(|pos| nodes[pos].1.attach_workload(unit).is_ok())
+                .map(|pos| nodes[pos].runtime.attach_workload(unit).is_ok())
                 .unwrap_or(false);
             match (attached, is_migration) {
                 (true, false) => admitted += 1,
@@ -989,7 +1344,7 @@ fn worker<E: Environment + 'static>(
         let mut lost = 0u64;
         for (index, unit) in restores {
             let restored = position(&nodes, index)
-                .map(|pos| nodes[pos].1.attach_workload(unit).is_ok())
+                .map(|pos| nodes[pos].runtime.attach_workload(unit).is_ok())
                 .unwrap_or(false);
             if !restored {
                 lost += 1;
@@ -1002,9 +1357,8 @@ fn worker<E: Environment + 'static>(
             return;
         }
     }
-    let reports =
-        nodes.into_iter().map(|(seed, runtime)| summarize(&recipe, seed, runtime)).collect();
-    let _ = done_tx.send(WorkerMsg::Finished(reports));
+    finished.extend(nodes.into_iter().map(|node| summarize(&recipe, node.seed, node.runtime)));
+    let _ = done_tx.send(WorkerMsg::Finished(finished));
 }
 
 /// Finishes one node and boils its report down to the `Send`-able summary
@@ -1028,15 +1382,27 @@ fn summarize<E: Environment + 'static>(
         agents,
         metrics,
         workloads,
+        // The initial record; the fleet coordinator stamps the registry's
+        // final record over it, which is byte-identical for a node that saw
+        // no lifecycle events — keeping [`FleetRuntime::run_node`] exact.
+        lifecycle: NodeRecord::initial(seed.index() as usize),
         ended_at: report.ended_at,
     }
 }
 
 /// Folds per-node reports (already in index order) into the fleet dashboard.
+///
+/// Crashed nodes are validated like every other node but excluded from the
+/// role aggregates and metric summaries — a crash truncates the node's
+/// trajectory at an arbitrary boundary, so folding its stats in would skew
+/// the surviving fleet's dashboard. Their full reports remain in
+/// [`FleetReport::nodes`]. `ended_at` is the fleet clock's final boundary,
+/// passed in explicitly because node 0 may itself have retired early.
 fn aggregate(
     nodes: Vec<FleetNodeReport>,
     epochs: u64,
     placement: PlacementStats,
+    ended_at: Timestamp,
 ) -> Result<FleetReport, RuntimeError> {
     let first = &nodes[0];
     for node in &nodes[1..] {
@@ -1065,14 +1431,19 @@ fn aggregate(
         }
     }
 
+    let contributors: Vec<&FleetNodeReport> =
+        nodes.iter().filter(|n| n.lifecycle.state != NodeState::Crashed).collect();
+    // `max(1)` guards the all-crashed fleet: rates read 0 instead of NaN.
+    let denominator = contributors.len().max(1) as f64;
+
     let roles = (0..first.agents.len())
         .map(|role| {
             let mut totals = AgentStats::default();
             let mut activated = 0usize;
-            let mut epochs_completed = Vec::with_capacity(nodes.len());
-            let mut actions = Vec::with_capacity(nodes.len());
-            let mut triggers = Vec::with_capacity(nodes.len());
-            for node in &nodes {
+            let mut epochs_completed = Vec::with_capacity(contributors.len());
+            let mut actions = Vec::with_capacity(contributors.len());
+            let mut triggers = Vec::with_capacity(contributors.len());
+            for node in &contributors {
                 let stats = &node.agents[role].stats;
                 totals.accumulate(stats);
                 if stats.actuator.safeguard_triggers > 0 || stats.model.intercepted_predictions > 0
@@ -1085,9 +1456,9 @@ fn aggregate(
             }
             RoleAggregate {
                 name: first.agents[role].name.clone(),
-                nodes: nodes.len(),
+                nodes: contributors.len(),
                 totals,
-                safeguard_activation_rate: activated as f64 / nodes.len() as f64,
+                safeguard_activation_rate: activated as f64 / denominator,
                 epochs_completed: Percentiles::of(&epochs_completed),
                 actions_taken: Percentiles::of(&actions),
                 safeguard_triggers: Percentiles::of(&triggers),
@@ -1103,20 +1474,27 @@ fn aggregate(
         .iter()
         .enumerate()
         .map(|(i, (name, _))| {
-            let values: Vec<f64> = nodes.iter().map(|n| n.metrics[i].1).collect();
+            let values: Vec<f64> = contributors.iter().map(|n| n.metrics[i].1).collect();
             let total: f64 = values.iter().sum();
+            let (min, max) = if values.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (
+                    values.iter().copied().fold(f64::INFINITY, f64::min),
+                    values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
+            };
             MetricSummary {
                 name: name.clone(),
                 nodes: values.len(),
                 total,
-                mean: total / values.len() as f64,
-                min: values.iter().copied().fold(f64::INFINITY, f64::min),
-                max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                mean: total / denominator,
+                min,
+                max,
             }
         })
         .collect();
 
-    let ended_at = nodes[0].ended_at;
     Ok(FleetReport { nodes, roles, metrics, placement, ended_at, epochs })
 }
 

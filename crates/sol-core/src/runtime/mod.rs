@@ -19,6 +19,9 @@
 //!   worker-thread pool synchronized on epoch boundaries of one virtual
 //!   clock, and aggregates per-node stats into a
 //!   [`FleetReport`](fleet::FleetReport) of fleet-level safety dashboards.
+//!   Node availability is itself programmable: the [`lifecycle`] module's
+//!   typed state machine and seeded [`FaultPlan`](lifecycle::FaultPlan) make
+//!   crashes, joins, and drains first-class fleet events.
 //!   Reports are byte-identical regardless of the worker-thread count.
 //! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
 //!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
@@ -34,6 +37,7 @@
 
 pub mod builder;
 pub mod fleet;
+pub mod lifecycle;
 pub mod node;
 pub mod placement;
 pub mod replay;

@@ -45,6 +45,7 @@ use crate::stats::AgentStats;
 use crate::time::{SimDuration, Timestamp};
 
 use super::fleet::{splitmix64, GAMMA};
+use super::lifecycle::{LifecycleEvent, NodeState};
 
 /// Stable identity of a placeable [`WorkloadUnit`], assigned by whoever
 /// creates the unit (an [`ArrivalTrace`], a test, a custom controller) and
@@ -205,6 +206,11 @@ pub struct NodeView {
     pub telemetry: Vec<(String, f64)>,
     /// The node's current workload placement.
     pub placement: NodePlacement,
+    /// The node's lifecycle state, stamped from the fleet's
+    /// [`NodeRegistry`](crate::runtime::lifecycle::NodeRegistry). Retired
+    /// nodes ([`Drained`](NodeState::Drained) / [`Crashed`](NodeState::Crashed))
+    /// appear as tombstones: empty agents, empty telemetry, no placement.
+    pub state: NodeState,
 }
 
 impl NodeView {
@@ -226,6 +232,11 @@ pub struct FleetView {
     pub epoch: u64,
     /// Per-node snapshots, sorted by node index.
     pub nodes: Vec<NodeView>,
+    /// Workload units displaced by node crashes and not yet re-placed, in
+    /// displacement order. They stay in this pool (and reappear in every
+    /// subsequent view) until a controller successfully re-admits them; any
+    /// still displaced when the run ends are counted as failed placements.
+    pub displaced: Vec<WorkloadUnit>,
 }
 
 impl FleetView {
@@ -265,14 +276,18 @@ pub enum FleetCommand {
 
 /// The commands a [`FleetController`] returns for one epoch boundary.
 ///
-/// The runtime applies a plan in three phases — departures and
-/// migration-detaches, then admissions, then migration-attaches — each phase
-/// stable-sorted by target node index, so freed capacity is available to the
-/// same barrier's admissions and application order never depends on the
-/// worker-thread layout.
+/// The runtime applies a plan's lifecycle events first (crashes displace,
+/// joins stamp new nodes, drains close admissions), then its placement
+/// commands in three phases — departures and migration-detaches, then
+/// admissions, then migration-attaches — each phase stable-sorted by target
+/// node index, so freed capacity is available to the same barrier's
+/// admissions and application order never depends on the worker-thread
+/// layout. Because lifecycle events land first, a placement command against a
+/// node crashed in the same plan fails (counted, not fatal).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PlacementPlan {
     commands: Vec<FleetCommand>,
+    lifecycle: Vec<LifecycleEvent>,
 }
 
 impl PlacementPlan {
@@ -301,24 +316,56 @@ impl PlacementPlan {
         self.commands.push(command);
     }
 
+    /// Queues a [`LifecycleEvent::Crash`] of `node`.
+    pub fn crash(&mut self, node: usize) {
+        self.lifecycle.push(LifecycleEvent::Crash { node });
+    }
+
+    /// Queues a [`LifecycleEvent::Join`]: a fresh node stamped from the
+    /// recipe at the next free index.
+    pub fn join(&mut self) {
+        self.lifecycle.push(LifecycleEvent::Join);
+    }
+
+    /// Queues a [`LifecycleEvent::Drain`] of `node`.
+    pub fn drain(&mut self, node: usize) {
+        self.lifecycle.push(LifecycleEvent::Drain { node });
+    }
+
+    /// Queues an arbitrary lifecycle event.
+    pub fn lifecycle(&mut self, event: LifecycleEvent) {
+        self.lifecycle.push(event);
+    }
+
     /// The queued commands, in issue order.
     pub fn commands(&self) -> &[FleetCommand] {
         &self.commands
     }
 
-    /// Number of queued commands.
+    /// The queued lifecycle events, in issue order.
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        &self.lifecycle
+    }
+
+    /// Number of queued commands and lifecycle events.
     pub fn len(&self) -> usize {
-        self.commands.len()
+        self.commands.len() + self.lifecycle.len()
     }
 
-    /// Whether the plan issues no commands.
+    /// Whether the plan issues no commands and no lifecycle events.
     pub fn is_empty(&self) -> bool {
-        self.commands.is_empty()
+        self.commands.is_empty() && self.lifecycle.is_empty()
     }
 
-    /// Consumes the plan, returning its commands.
+    /// Consumes the plan, returning its commands (lifecycle events are
+    /// dropped; use [`into_parts`](Self::into_parts) to keep both).
     pub fn into_commands(self) -> Vec<FleetCommand> {
         self.commands
+    }
+
+    /// Consumes the plan, returning its commands and lifecycle events.
+    pub fn into_parts(self) -> (Vec<FleetCommand>, Vec<LifecycleEvent>) {
+        (self.commands, self.lifecycle)
     }
 }
 
@@ -508,18 +555,29 @@ impl Default for GreedyPackerConfig {
 /// 1. absorbs the trace events that came due since the previous boundary
 ///    (departures of resident units become [`FleetCommand::Depart`]s;
 ///    departures of units that were never placed just leave the queue);
-/// 2. places queued arrivals worst-fit — each unit goes to the node with the
-///    most free placeable capacity, i.e. the most harvestable idle headroom
-///    (ties break toward the lower node index); units that fit nowhere stay
-///    queued and are retried at the next boundary; and
-/// 3. issues up to
+/// 2. queues crash-displaced units from [`FleetView::displaced`] at the front
+///    of its pending queue (skipping units whose trace departure has already
+///    passed), so re-placements come before fresh arrivals;
+/// 3. evacuates [`Draining`](NodeState::Draining) nodes: each resident
+///    (smallest first) migrates to the emptiest `Active` node with room —
+///    what does not fit stays and is retried at the next boundary;
+/// 4. places queued arrivals worst-fit — each unit goes to the `Active` node
+///    with the most free placeable capacity, i.e. the most harvestable idle
+///    headroom (ties break toward the lower node index). Eligibility is
+///    re-evaluated against the *current* [`FleetView`] at every boundary, so
+///    a unit deferred while the fleet was full lands on a node that joined
+///    after the deferral; units that fit nowhere stay queued; and
+/// 5. issues up to
 ///    [`max_rebalances_per_epoch`](GreedyPackerConfig::max_rebalances_per_epoch)
-///    [`FleetCommand::Migrate`]s toward the emptiest node when the
+///    [`FleetCommand::Migrate`]s toward the emptiest `Active` node when the
 ///    free-capacity gap exceeds
 ///    [`rebalance_gap`](GreedyPackerConfig::rebalance_gap): the donor is the
-///    least-free node that has a movable unit fitting the recipient (nodes
-///    with nothing movable — e.g. zero-capacity nodes — are skipped, not
-///    allowed to wedge rebalancing), and the smallest such unit moves.
+///    least-free `Active` node that has a movable unit fitting the recipient
+///    (nodes with nothing movable — e.g. zero-capacity nodes — are skipped,
+///    not allowed to wedge rebalancing), and the smallest such unit moves.
+///
+/// Only `Active` nodes receive work: `Joining`, `Draining`, and retired
+/// nodes are skipped as admission and migration targets.
 ///
 /// All choices are functions of the (index-sorted) [`FleetView`] and the
 /// packer's own deterministic queue, so runs stay byte-identical across
@@ -529,6 +587,9 @@ pub struct GreedyPacker {
     events: Vec<TraceEvent>,
     cursor: usize,
     pending: Vec<WorkloadUnit>,
+    /// Ids whose trace departure has come due; displaced copies of these
+    /// must not be re-placed.
+    departed: Vec<WorkloadId>,
     config: GreedyPackerConfig,
     deferred_placements: u64,
 }
@@ -545,6 +606,7 @@ impl GreedyPacker {
             events: trace.events,
             cursor: 0,
             pending: Vec::new(),
+            departed: Vec::new(),
             config,
             deferred_placements: 0,
         }
@@ -590,6 +652,8 @@ fn first_min_where(free: &[f64], eligible: impl Fn(usize) -> bool) -> Option<usi
 impl FleetController for GreedyPacker {
     fn plan(&mut self, view: &FleetView) -> PlacementPlan {
         let mut plan = PlacementPlan::new();
+        // Only Active nodes receive admissions and migration attaches.
+        let active = |i: usize| view.nodes[i].state.is_active();
         // Free capacity per view position, debited as the plan assigns work.
         let mut free: Vec<f64> = view.nodes.iter().map(|n| n.placement.free()).collect();
         // Units this plan already departs or migrates (not eligible again).
@@ -600,6 +664,7 @@ impl FleetController for GreedyPacker {
             match &self.events[self.cursor].kind {
                 TraceEventKind::Arrive(unit) => self.pending.push(*unit),
                 TraceEventKind::Depart(id) => {
+                    self.departed.push(*id);
                     if let Some(pos) = self.pending.iter().position(|u| u.id == *id) {
                         // Departed before it was ever placed.
                         self.pending.remove(pos);
@@ -621,10 +686,54 @@ impl FleetController for GreedyPacker {
             self.cursor += 1;
         }
 
-        // 2. Worst-fit placement of queued arrivals.
+        // 2. Crash-displaced units re-enter at the front of the queue, so
+        // re-placements come before fresh arrivals. Units already queued (a
+        // prior boundary's enqueue whose admission failed) and units whose
+        // trace departure has passed are skipped; the latter stay in the
+        // fleet's displaced pool and are counted as failed placements when
+        // the run ends.
+        let mut queue: Vec<WorkloadUnit> = view
+            .displaced
+            .iter()
+            .filter(|u| !self.departed.contains(&u.id))
+            .filter(|u| !self.pending.iter().any(|p| p.id == u.id))
+            .copied()
+            .collect();
+        queue.append(&mut self.pending);
+        self.pending = queue;
+
+        // 3. Evacuate draining nodes: each resident (smallest first, ties by
+        // id) migrates to the emptiest Active node with room; what does not
+        // fit stays resident and is retried at the next boundary.
+        for pos in 0..view.nodes.len() {
+            if view.nodes[pos].state != NodeState::Draining {
+                continue;
+            }
+            let mut residents = view.nodes[pos].placement.resident.clone();
+            residents.sort_by(|a, b| {
+                a.cores.partial_cmp(&b.cores).expect("finite cores").then(a.id.cmp(&b.id))
+            });
+            for unit in residents {
+                if touched.contains(&unit.id) {
+                    continue; // departed this plan
+                }
+                let Some(target) = first_max(&free, |i| active(i) && free[i] + 1e-9 >= unit.cores)
+                else {
+                    continue;
+                };
+                free[target] -= unit.cores;
+                free[pos] += unit.cores;
+                touched.push(unit.id);
+                plan.migrate(view.nodes[pos].node, view.nodes[target].node, unit.id);
+            }
+        }
+
+        // 4. Worst-fit placement of queued arrivals and re-placements.
+        // Eligibility is a fresh function of the current view: nodes that
+        // joined since a unit was deferred are candidates like any other.
         let mut still_pending = Vec::new();
         for unit in self.pending.drain(..) {
-            let target = first_max(&free, |i| free[i] + 1e-9 >= unit.cores);
+            let target = first_max(&free, |i| active(i) && free[i] + 1e-9 >= unit.cores);
             match target {
                 Some(i) => {
                     free[i] -= unit.cores;
@@ -638,14 +747,15 @@ impl FleetController for GreedyPacker {
         }
         self.pending = still_pending;
 
-        // 3. Rebalancing migrations toward the emptiest node. The donor is
-        // the least-free node that can actually contribute — a node with no
-        // movable (unmoved, fitting) resident unit is skipped rather than
-        // wedging rebalancing for the whole fleet (e.g. a zero-capacity
-        // node is always the free-capacity minimum but never a donor).
+        // 5. Rebalancing migrations toward the emptiest Active node. The
+        // donor is the least-free Active node that can actually contribute —
+        // a node with no movable (unmoved, fitting) resident unit is skipped
+        // rather than wedging rebalancing for the whole fleet (e.g. a
+        // zero-capacity node is always the free-capacity minimum but never a
+        // donor).
         if self.config.rebalance_gap > 0.0 && free.len() > 1 {
             for _ in 0..self.config.max_rebalances_per_epoch {
-                let recipient = first_max(&free, |_| true).expect("non-empty fleet");
+                let Some(recipient) = first_max(&free, active) else { break };
                 // The smallest movable unit per eligible donor: resident,
                 // not already moved this epoch, and fitting the recipient.
                 let movable = |donor: usize| {
@@ -664,7 +774,8 @@ impl FleetController for GreedyPacker {
                         .copied()
                 };
                 let donor = first_min_where(&free, |i| {
-                    i != recipient
+                    active(i)
+                        && i != recipient
                         && free[recipient] - free[i] >= self.config.rebalance_gap
                         && movable(i).is_some()
                 });
@@ -684,21 +795,27 @@ impl FleetController for GreedyPacker {
 mod tests {
     use super::*;
 
-    fn view_at(now: Timestamp, nodes: Vec<NodePlacement>) -> FleetView {
+    fn view_of(now: Timestamp, nodes: Vec<(NodePlacement, NodeState)>) -> FleetView {
         FleetView {
             now,
             epoch: 0,
             nodes: nodes
                 .into_iter()
                 .enumerate()
-                .map(|(i, placement)| NodeView {
+                .map(|(i, (placement, state))| NodeView {
                     node: i,
                     agents: Vec::new(),
                     telemetry: Vec::new(),
                     placement,
+                    state,
                 })
                 .collect(),
+            displaced: Vec::new(),
         }
+    }
+
+    fn view_at(now: Timestamp, nodes: Vec<NodePlacement>) -> FleetView {
+        view_of(now, nodes.into_iter().map(|p| (p, NodeState::Active)).collect())
     }
 
     fn view(nodes: Vec<NodePlacement>) -> FleetView {
@@ -904,7 +1021,7 @@ mod tests {
     }
 
     #[test]
-    fn placement_plan_collects_commands() {
+    fn placement_plan_collects_commands_and_lifecycle_events() {
         let mut plan = PlacementPlan::new();
         assert!(plan.is_empty());
         plan.admit(0, WorkloadUnit::new(WorkloadId(0), 1.0));
@@ -913,6 +1030,174 @@ mod tests {
         assert_eq!(plan.len(), 3);
         assert!(matches!(plan.commands()[2], FleetCommand::Migrate { from: 1, to: 0, .. }));
         assert_eq!(plan.clone().into_commands().len(), 3);
+
+        plan.crash(2);
+        plan.join();
+        plan.drain(4);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(
+            plan.lifecycle_events(),
+            &[
+                LifecycleEvent::Crash { node: 2 },
+                LifecycleEvent::Join,
+                LifecycleEvent::Drain { node: 4 }
+            ]
+        );
+        let (commands, lifecycle) = plan.into_parts();
+        assert_eq!(commands.len(), 3);
+        assert_eq!(lifecycle.len(), 3);
+    }
+
+    #[test]
+    fn packer_only_targets_active_nodes() {
+        let mut packer = GreedyPacker::with_config(
+            ArrivalTrace::empty(),
+            GreedyPackerConfig { rebalance_gap: 0.0, max_rebalances_per_epoch: 0 },
+        );
+        packer.pending.push(WorkloadUnit::new(WorkloadId(0), 1.0));
+        // The roomiest nodes are draining/joining; only node 2 may admit.
+        let v = view_of(
+            Timestamp::from_secs(1),
+            vec![
+                (placeable(8.0, vec![]), NodeState::Draining),
+                (placeable(8.0, vec![]), NodeState::Joining),
+                (placeable(4.0, vec![]), NodeState::Active),
+            ],
+        );
+        let plan = packer.plan(&v);
+        assert_eq!(
+            plan.commands(),
+            &[FleetCommand::Admit { node: 2, unit: WorkloadUnit::new(WorkloadId(0), 1.0) }]
+        );
+        // With no Active node at all, the unit defers instead of landing on a
+        // non-admitting node.
+        let mut stuck = GreedyPacker::new(ArrivalTrace::empty());
+        stuck.pending.push(WorkloadUnit::new(WorkloadId(1), 1.0));
+        let v =
+            view_of(Timestamp::from_secs(1), vec![(placeable(8.0, vec![]), NodeState::Draining)]);
+        assert!(stuck.plan(&v).is_empty());
+        assert_eq!(stuck.pending(), 1);
+    }
+
+    #[test]
+    fn packer_evacuates_draining_nodes_smallest_first() {
+        let small = WorkloadUnit::new(WorkloadId(0), 1.0);
+        let big = WorkloadUnit::new(WorkloadId(1), 3.0);
+        let mut packer = GreedyPacker::with_config(
+            ArrivalTrace::empty(),
+            GreedyPackerConfig { rebalance_gap: 0.0, max_rebalances_per_epoch: 0 },
+        );
+        let v = view_of(
+            Timestamp::from_secs(1),
+            vec![
+                (placeable(8.0, vec![big, small]), NodeState::Draining),
+                (placeable(8.0, vec![]), NodeState::Active), // free 8: takes both
+                (placeable(2.0, vec![]), NodeState::Active), // free 2
+            ],
+        );
+        let plan = packer.plan(&v);
+        assert_eq!(
+            plan.commands(),
+            &[
+                FleetCommand::Migrate { from: 0, to: 1, workload: small.id },
+                FleetCommand::Migrate { from: 0, to: 1, workload: big.id },
+            ],
+            "smallest resident first, each to the then-emptiest Active node \
+             (node 1 stays emptier than node 2 even after taking the first unit)"
+        );
+        // Nothing fits anywhere: the resident stays put, retried later.
+        let mut wedged = GreedyPacker::new(ArrivalTrace::empty());
+        let huge = WorkloadUnit::new(WorkloadId(2), 9.0);
+        let v = view_of(
+            Timestamp::from_secs(1),
+            vec![
+                (placeable(10.0, vec![huge]), NodeState::Draining),
+                (placeable(4.0, vec![]), NodeState::Active),
+            ],
+        );
+        assert!(wedged.plan(&v).is_empty());
+    }
+
+    #[test]
+    fn packer_replaces_displaced_units_before_fresh_arrivals() {
+        let displaced = WorkloadUnit::new(WorkloadId(7), 3.0);
+        let fresh = WorkloadUnit::new(WorkloadId(8), 3.0);
+        let mut packer = GreedyPacker::with_config(
+            ArrivalTrace::empty(),
+            GreedyPackerConfig { rebalance_gap: 0.0, max_rebalances_per_epoch: 0 },
+        );
+        packer.pending.push(fresh);
+        // Room for only one of the two: the displaced unit must win.
+        let mut v = view(vec![placeable(4.0, vec![])]);
+        v.displaced.push(displaced);
+        let plan = packer.plan(&v);
+        assert_eq!(
+            plan.commands(),
+            &[FleetCommand::Admit { node: 0, unit: displaced }],
+            "displaced units queue ahead of fresh arrivals"
+        );
+        assert_eq!(packer.pending(), 1, "the fresh arrival defers");
+        // The same displaced unit reappearing in the pool is not re-queued
+        // while it is still pending.
+        let mut v = view(vec![placeable(0.0, vec![])]);
+        v.displaced.push(displaced);
+        packer.plan(&v);
+        packer.plan(&v);
+        assert_eq!(
+            packer.pending.iter().filter(|u| u.id == displaced.id).count(),
+            1,
+            "pool re-offers must not duplicate the queue entry"
+        );
+    }
+
+    #[test]
+    fn packer_skips_displaced_units_that_already_departed() {
+        let unit = WorkloadUnit::new(WorkloadId(0), 1.0);
+        let trace = ArrivalTrace {
+            events: vec![
+                TraceEvent { at: Timestamp::from_millis(10), kind: TraceEventKind::Arrive(unit) },
+                TraceEvent {
+                    at: Timestamp::from_millis(500),
+                    kind: TraceEventKind::Depart(unit.id),
+                },
+            ],
+            arrivals: 1,
+        };
+        let mut packer = GreedyPacker::new(trace);
+        // Boundary 1: arrive + admit.
+        let plan = packer.plan(&view_at(Timestamp::from_millis(100), vec![placeable(4.0, vec![])]));
+        assert_eq!(plan.commands().len(), 1);
+        // The node hosting it crashed, and by the next boundary the unit's
+        // departure has passed: the displaced copy must not be re-placed.
+        let mut v = view_at(Timestamp::from_secs(1), vec![placeable(4.0, vec![])]);
+        v.displaced.push(unit);
+        let plan = packer.plan(&v);
+        assert!(plan.is_empty(), "departed displaced units are not revived: {plan:?}");
+        assert_eq!(packer.pending(), 0);
+    }
+
+    /// Regression test for the deferral-queue bugfix: a unit deferred while
+    /// every node was full must land on a node that *joined after* the
+    /// deferral — eligibility is re-evaluated against the current view, not
+    /// the node set that existed when the unit was queued.
+    #[test]
+    fn deferred_units_land_on_nodes_joined_after_the_deferral() {
+        let unit = WorkloadUnit::new(WorkloadId(0), 5.0);
+        let mut packer = GreedyPacker::new(ArrivalTrace::empty());
+        packer.pending.push(unit);
+        // Boundary 1: one full node; the unit defers.
+        let full = placeable(6.0, vec![WorkloadUnit::new(WorkloadId(9), 4.0)]);
+        assert!(packer.plan(&view(vec![full.clone()])).is_empty());
+        assert_eq!(packer.deferred_placements(), 1);
+        // Boundary 2: a freshly joined node (index 1) has room; the deferred
+        // unit must be admitted there.
+        let v = view_of(
+            Timestamp::from_secs(2),
+            vec![(full, NodeState::Active), (placeable(6.0, vec![]), NodeState::Active)],
+        );
+        let plan = packer.plan(&v);
+        assert_eq!(plan.commands(), &[FleetCommand::Admit { node: 1, unit }]);
+        assert_eq!(packer.pending(), 0);
     }
 
     #[test]

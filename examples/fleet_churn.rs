@@ -1,0 +1,133 @@
+//! Fleet churn: crash, join, and drain as first-class fleet events.
+//!
+//! Eight placeable servers — each co-hosting the SmartOverclock and
+//! SmartHarvest learners — run under the `GreedyPacker` while a seeded
+//! `FaultPlan` injects availability chaos mid-run: servers crash (their VMs
+//! are displaced and must be re-placed), fresh servers join and start
+//! learning from scratch, and servers drain (the packer evacuates them, and
+//! they retire once empty). The dashboard shows each node's final lifecycle
+//! state, the displaced/replaced accounting, and that the on-node learners'
+//! safeguards hold steady through the churn (compared against a fault-free
+//! run of the identical fleet).
+//!
+//! This generalizes `failure_injection` — which breaks one agent's inputs,
+//! model, and scheduling — to breaking the fleet itself.
+//!
+//! Run with: `cargo run --release --example fleet_churn`
+
+use sol::prelude::*;
+use sol_bench::placement_experiments::{churn_trace, PLACEABLE_CORES, PLACEMENT_FLEET_SEED};
+
+/// The chaos scenario: two crashes, two joins, one drain over the horizon.
+fn fault_plan(horizon: SimDuration) -> FaultPlan {
+    FaultPlan::generate(
+        0xC4A05,
+        8,
+        &FaultPlanConfig { crashes: 2, joins: 2, drains: 1, span: horizon },
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = SimDuration::from_secs(60);
+    let preset = colocated_recipe(ColocationConfig {
+        placeable_cores: PLACEABLE_CORES,
+        ..ColocationConfig::default()
+    });
+    let config =
+        FleetConfig { nodes: 8, threads: 4, seed: PLACEMENT_FLEET_SEED, ..FleetConfig::default() };
+    let fleet = FleetRuntime::new(preset.recipe.clone(), config.clone())?;
+
+    // Fault-free baseline: the same fleet and arrival trace, no chaos.
+    let mut calm_packer = GreedyPacker::new(churn_trace(32, horizon));
+    let baseline = fleet.run_with(&mut calm_packer, horizon)?;
+
+    // Chaos run: same trace, plus the seeded fault plan.
+    let mut packer = GreedyPacker::new(churn_trace(32, horizon));
+    let report = fleet.run_with_faults(&mut packer, fault_plan(horizon), horizon)?;
+
+    println!(
+        "fleet: {} nodes to start, horizon {horizon}, {} sync epochs",
+        config.nodes, report.epochs
+    );
+    println!("\ninjected faults:");
+    for fault in fault_plan(horizon).events() {
+        println!("  t={:<4} {:?}", format!("{}", fault.at), fault.event);
+    }
+
+    println!("\nnode lifecycle at the horizon:");
+    for node in &report.nodes {
+        let r = &node.lifecycle;
+        let joined = if r.joined_epoch > 0 {
+            format!(" joined@epoch{}", r.joined_epoch)
+        } else {
+            String::new()
+        };
+        println!(
+            "  node {}  {:<8} v{}{}  ran {}  [{} resident VM(s)]",
+            node.node,
+            format!("{}", r.state),
+            r.version,
+            joined,
+            node.ended_at,
+            node.workloads.len(),
+        );
+    }
+
+    let p = &report.placement;
+    println!("\nplacement dashboard under churn:");
+    println!("  admitted            {}", p.admitted);
+    println!("  departed            {}", p.departed);
+    println!("  migrated            {}", p.migrated);
+    println!("  displaced by crash  {}", p.displaced);
+    println!("  re-placed           {}", p.replaced);
+    println!("  failed placements   {}", p.failed_placements);
+    println!(
+        "  packing efficiency  {:.2} (baseline {:.2})",
+        { p.packing_efficiency },
+        baseline.placement.packing_efficiency
+    );
+
+    println!("\nlearning survives the churn (surviving nodes vs fault-free baseline):");
+    for (label, handle) in [
+        ("smart-overclock", AgentId::from(preset.overclock)),
+        ("smart-harvest", AgentId::from(preset.harvest)),
+    ] {
+        let churned = report.role(handle);
+        let calm = baseline.role(handle);
+        println!(
+            "  {label:<16} {} nodes aggregated  safeguard-rate {:.2} (baseline {:.2})  \
+             epochs p50 {} (baseline {})",
+            churned.nodes,
+            churned.safeguard_activation_rate,
+            calm.safeguard_activation_rate,
+            churned.epochs_completed.p50,
+            calm.epochs_completed.p50,
+        );
+    }
+
+    // The acceptance bar: the chaos actually happened, displaced work was
+    // re-placed, joined nodes learned, and the whole report is byte-identical
+    // when re-run on a single worker thread.
+    assert!(p.displaced > 0, "a crash must displace VMs");
+    assert!(p.replaced > 0, "displaced VMs must be re-placed");
+    let crashed = report.nodes.iter().filter(|n| n.lifecycle.state == NodeState::Crashed).count();
+    let joined: Vec<_> = report.nodes.iter().filter(|n| n.lifecycle.joined_epoch > 0).collect();
+    assert_eq!(crashed, 2, "both crashes must land");
+    assert_eq!(joined.len(), 2, "both joins must land");
+    for node in &joined {
+        assert!(
+            node.agents.iter().any(|a| a.stats.model.epochs_completed > 0),
+            "a joined node must actually learn"
+        );
+    }
+    let mut packer_again = GreedyPacker::new(churn_trace(32, horizon));
+    let single = FleetRuntime::new(preset.recipe.clone(), FleetConfig { threads: 1, ..config })?
+        .run_with_faults(&mut packer_again, fault_plan(horizon), horizon)?;
+    assert_eq!(
+        format!("{report:#?}"),
+        format!("{single:#?}"),
+        "chaos runs must be byte-identical across worker-thread counts"
+    );
+    println!("\n4-thread and 1-thread chaos runs produced byte-identical reports");
+    Ok(())
+}

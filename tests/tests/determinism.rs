@@ -328,6 +328,78 @@ fn greedy_packer_fleet_reports_are_byte_identical_across_worker_thread_counts() 
     assert_eq!(single, run(1), "repeat placement runs must be byte-stable");
 }
 
+/// The lifecycle acceptance bar: a fault-injected run with at least one
+/// crash, one join, one drain, and one displaced re-placement is
+/// byte-identical across 1, 2, and 8 worker threads and across repeat runs.
+/// Lifecycle events are applied on the coordinator at epoch boundaries, so
+/// neither the thread layout nor scheduling may leak into which node
+/// crashes, where its evicted units land, or what the joined node learns.
+#[test]
+fn fault_injected_fleet_reports_are_byte_identical_across_worker_thread_counts() {
+    let horizon = SimDuration::from_secs(20);
+    let faults = || {
+        FaultPlan::generate(
+            0x0,
+            5,
+            &FaultPlanConfig { crashes: 1, joins: 1, drains: 1, span: horizon },
+        )
+    };
+    let trace = || {
+        ArrivalTrace::generate(
+            0xBEEF,
+            &ArrivalTraceConfig {
+                workloads: 24,
+                span: horizon,
+                min_cores: 0.5,
+                max_cores: 2.5,
+                min_lifetime: SimDuration::from_secs(6),
+                max_lifetime: SimDuration::from_secs(14),
+            },
+        )
+    };
+    let run = |threads: usize| {
+        let preset = colocated_recipe(ColocationConfig {
+            placeable_cores: 6.0,
+            ..ColocationConfig::default()
+        });
+        let config = FleetConfig { nodes: 5, threads, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+        let mut packer = GreedyPacker::new(trace());
+        let report = fleet.run_with_faults(&mut packer, faults(), horizon).unwrap();
+        // The pinned scenario must actually exercise every lifecycle path.
+        let p = &report.placement;
+        assert!(p.displaced > 0, "the crash must displace work: {p:?}");
+        assert!(p.replaced > 0, "displaced work must be re-placed: {p:?}");
+        assert_eq!(report.nodes.len(), 6, "the join must add a node");
+        use sol_core::prelude::NodeState;
+        let state_of =
+            |s: NodeState| report.nodes.iter().filter(|n| n.lifecycle.state == s).count();
+        assert_eq!(state_of(NodeState::Crashed), 1);
+        assert_eq!(state_of(NodeState::Drained), 1);
+        debug_bytes(&report)
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2-thread chaos run diverged from single-threaded");
+    assert_eq!(single, run(8), "8-thread chaos run diverged from single-threaded");
+    assert_eq!(single, run(1), "repeat chaos runs must be byte-stable");
+}
+
+/// A zero-event `FaultPlan` must be invisible: `run_with_faults` with
+/// `FaultPlan::empty()` is byte-identical to `run_with` on the same
+/// controller.
+#[test]
+fn empty_fault_plan_is_byte_identical_to_run_with() {
+    let preset = three_agents_recipe(ThreeAgentConfig::default());
+    let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+    let fleet = FleetRuntime::new(preset.recipe, config).unwrap();
+    let horizon = SimDuration::from_secs(15);
+    let plain = debug_bytes(&fleet.run_with(&mut NullController, horizon).unwrap());
+    let faultless = debug_bytes(
+        &fleet.run_with_faults(&mut NullController, FaultPlan::empty(), horizon).unwrap(),
+    );
+    assert_eq!(plain, faultless);
+}
+
 #[test]
 fn colocated_runs_are_byte_identical_per_agent() {
     let run = || {

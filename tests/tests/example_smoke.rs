@@ -70,6 +70,11 @@ fn placement_example_runs() {
 }
 
 #[test]
+fn fleet_churn_example_runs() {
+    run_example("fleet_churn");
+}
+
+#[test]
 fn three_agents_example_runs() {
     run_example("three_agents");
 }
