@@ -1,45 +1,60 @@
 //! Fleet scaling table: the default two-agent co-location recipe stamped out
-//! across 1/8/64/256 simulated servers, crossed with worker-thread counts,
-//! reporting wall-clock per virtual minute (total and per node). The fleet
-//! outcome columns are thread-count independent by construction — only the
-//! wall-clock columns may vary between thread counts (and only show a
+//! across 1/8/64/256/1024/4096 simulated servers, crossed with worker-thread
+//! counts, reporting wall-clock per virtual minute (total and per node). The
+//! fleet outcome columns are thread-count independent by construction — only
+//! the wall-clock columns may vary between thread counts (and only show a
 //! speedup when the host actually has spare cores).
+//!
+//! The machine-readable artifact is committed at the repo root as
+//! `BENCH_fleet.json` (schema v2: one flat object per nodes × threads cell,
+//! with both total and per-node wall costs), so every PR carries the perf
+//! trajectory in-history and CI can diff a branch against its parent.
 //!
 //! Quick-mode knobs (used by CI so the table cannot silently rot):
 //! * `SOL_HORIZON_SECS` — virtual horizon per fleet run (default 60).
-//! * `SOL_FLEET_MAX_NODES` — drop fleet sizes above this bound (default 256;
-//!   CI uses 8).
+//! * `SOL_FLEET_MAX_NODES` — drop fleet sizes above this bound (default
+//!   4096; CI's quick tier uses 1024).
 
 use sol_bench::fleet_experiments::scaling_table;
 use sol_bench::report::{env_u64, fmt, json_rows, print_table};
 use sol_core::time::SimDuration;
 
+/// Version of the `BENCH_fleet.json` row layout; bump when adding, removing,
+/// or re-interpreting fields so trajectory tooling can refuse mismatches
+/// instead of misreading them.
+const SCHEMA_VERSION: f64 = 2.0;
+
+/// The committed artifact lives at the repo root, not the crate root — the
+/// bench is always run from a workspace checkout, so the manifest-relative
+/// path is stable no matter the invoking directory.
+const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+
 fn main() {
     let horizon = SimDuration::from_secs(env_u64("SOL_HORIZON_SECS", 60));
-    let max_nodes = env_u64("SOL_FLEET_MAX_NODES", 256) as usize;
+    let max_nodes = env_u64("SOL_FLEET_MAX_NODES", 4096) as usize;
     let node_counts: Vec<usize> =
-        [1usize, 8, 64, 256].into_iter().filter(|&n| n <= max_nodes).collect();
+        [1usize, 8, 64, 256, 1024, 4096].into_iter().filter(|&n| n <= max_nodes).collect();
     let thread_counts = [1usize, 2, 4, 8];
 
     let table = scaling_table(&node_counts, &thread_counts, horizon);
 
-    // The machine-readable artifact CI uploads: one flat object per
-    // nodes × threads combination.
     let json = json_rows(
         &table
             .iter()
             .map(|r| {
                 vec![
+                    ("schema_version", SCHEMA_VERSION),
                     ("nodes", r.nodes as f64),
                     ("threads", r.threads as f64),
                     ("wall_ms_per_virtual_minute", r.wall_ms_per_virtual_minute),
+                    ("wall_ms_per_node_minute", r.wall_ms_per_node_minute),
                 ]
             })
             .collect::<Vec<_>>(),
     );
-    match std::fs::write("BENCH_fleet.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_fleet.json ({} rows)", table.len()),
-        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    match std::fs::write(ARTIFACT, &json) {
+        Ok(()) => eprintln!("wrote {ARTIFACT} ({} rows)", table.len()),
+        Err(e) => eprintln!("could not write {ARTIFACT}: {e}"),
     }
 
     let rows: Vec<Vec<String>> = table

@@ -126,9 +126,138 @@ fn runtime_event_queue(c: &mut Criterion) {
     });
 }
 
+/// A minimal hosting environment: a bin of placeable cores and nothing else,
+/// so the packer-churn bench measures barrier machinery rather than
+/// substrate simulation.
+struct BinEnvironment {
+    capacity: f64,
+    resident: Vec<WorkloadUnit>,
+}
+
+impl Environment for BinEnvironment {
+    fn advance_to(&mut self, _now: Timestamp) {}
+
+    fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
+        let used: f64 = self.resident.iter().map(|u| u.cores).sum();
+        if used + unit.cores > self.capacity {
+            return Err(PlacementError::CapacityExceeded {
+                requested: unit.cores,
+                free: self.capacity - used,
+            });
+        }
+        if self.resident.iter().any(|u| u.id == unit.id) {
+            return Err(PlacementError::DuplicateWorkload(unit.id));
+        }
+        self.resident.push(unit);
+        Ok(())
+    }
+
+    fn detach_workload(&mut self, id: WorkloadId) -> Result<WorkloadUnit, PlacementError> {
+        match self.resident.iter().position(|u| u.id == id) {
+            Some(pos) => Ok(self.resident.remove(pos)),
+            None => Err(PlacementError::UnknownWorkload(id)),
+        }
+    }
+
+    fn placement(&self) -> NodePlacement {
+        NodePlacement { capacity: self.capacity, resident: self.resident.clone() }
+    }
+}
+
+/// One synthetic `NodeView` with a realistic width: three agents and four
+/// telemetry readings.
+fn synthetic_view(node: usize) -> NodeView {
+    NodeView {
+        node,
+        agents: (0..3)
+            .map(|role| AgentTelemetry {
+                name: format!("agent-{role}"),
+                stats: AgentStats::default(),
+            })
+            .collect(),
+        telemetry: (0..4).map(|slot| (format!("reading-{slot}"), slot as f64)).collect(),
+        placement: NodePlacement::none(),
+        state: NodeState::Active,
+    }
+}
+
+/// The per-barrier view cost, old way vs new way: cloning a full 64-node
+/// snapshot vector (what every epoch boundary used to pay) against
+/// diff-and-patch of a single changed node (what a barrier pays now when one
+/// node's counters moved and 63 stayed quiet).
+fn view_construction(c: &mut Criterion) {
+    let base: Vec<NodeView> = (0..64).map(synthetic_view).collect();
+
+    c.bench_function("view_construction_full_clone_64_nodes", |b| {
+        b.iter(|| std::hint::black_box(base.clone()));
+    });
+
+    c.bench_function("view_construction_delta_patch_64_nodes", |b| {
+        let mut next = base[17].clone();
+        next.agents[1].stats.model.samples_committed += 1;
+        next.telemetry[2].1 += 0.5;
+        let mut mirror = base.clone();
+        b.iter(|| {
+            let delta = NodeDelta::diff(&base[17], &next);
+            delta.apply(&mut mirror[17]);
+            std::hint::black_box(&mirror);
+        });
+    });
+}
+
+/// The recipe behind the barrier-overhead benches: eight no-op agents per
+/// node on a plain core bin, so virtually all wall time is epoch-barrier
+/// machinery (task fan-out, delta collection, controller invocation).
+fn barrier_recipe() -> ScenarioRecipe<BinEnvironment> {
+    ScenarioRecipe::new(|_seed: &NodeSeed| {
+        let mut builder =
+            NodeRuntime::builder(BinEnvironment { capacity: 8.0, resident: Vec::new() });
+        for i in 0..8 {
+            builder.agent(format!("agent-{i}"), NoopModel, NoopActuator, bench_schedule());
+        }
+        builder.build()
+    })
+}
+
+/// Barrier overhead with 0 commands vs under packer churn: the
+/// `NullController` row is the floor every `run()` pays per epoch (its
+/// declined view makes delta extraction skippable), the `GreedyPacker` row
+/// adds view collection plus admit/depart command traffic at every boundary.
+fn barrier_overhead(c: &mut Criterion) {
+    let horizon = SimDuration::from_secs(10);
+    let config =
+        || FleetConfig { nodes: 8, threads: 2, epoch: SimDuration::from_millis(500), seed: 7 };
+
+    c.bench_function("barrier_overhead_null_controller_8_nodes_20_epochs", |b| {
+        b.iter(|| {
+            let fleet = FleetRuntime::new(barrier_recipe(), config()).unwrap();
+            fleet.run(horizon).unwrap()
+        });
+    });
+
+    c.bench_function("barrier_overhead_packer_churn_8_nodes_20_epochs", |b| {
+        b.iter(|| {
+            let fleet = FleetRuntime::new(barrier_recipe(), config()).unwrap();
+            let trace = ArrivalTrace::generate(
+                11,
+                &ArrivalTraceConfig {
+                    workloads: 24,
+                    span: horizon,
+                    min_cores: 0.5,
+                    max_cores: 2.0,
+                    min_lifetime: SimDuration::from_secs(2),
+                    max_lifetime: SimDuration::from_secs(6),
+                },
+            );
+            let mut packer = GreedyPacker::new(trace);
+            fleet.run_with(&mut packer, horizon).unwrap()
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50);
-    targets = ml_kernels, runtime_event_queue
+    targets = ml_kernels, runtime_event_queue, view_construction, barrier_overhead
 }
 criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Diffs two committed `BENCH_fleet.json` artifacts and *warns* on per-node
+//! perf regressions — CI's trajectory tripwire.
+//!
+//! ```text
+//! bench_diff <parent.json> <branch.json> [threshold]
+//! ```
+//!
+//! Prints one `::warning::` line (GitHub Actions annotation syntax, harmless
+//! plain text elsewhere) per nodes × threads cell whose
+//! `wall_ms_per_node_minute` regressed by more than `threshold` (default
+//! 0.2, i.e. 20%). Always exits 0 on a successful comparison: bench numbers
+//! from shared CI runners are too noisy to gate merges on, but a silent
+//! slowdown should at least be staring the reviewer in the face. Unreadable
+//! or unparseable artifacts exit non-zero — a broken trajectory file is a
+//! real failure, not noise.
+
+use sol_bench::trajectory::{compare_fleet_rows, parse_rows};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(parent_path), Some(branch_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_diff <parent.json> <branch.json> [threshold]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = match args.next() {
+        Some(raw) => match raw.parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!("bench_diff: threshold {raw:?} is not a number");
+                std::process::exit(2);
+            }
+        },
+        None => 0.2,
+    };
+
+    let load = |path: &str| -> Vec<_> {
+        let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_rows(&raw).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parent = load(&parent_path);
+    let branch = load(&branch_path);
+
+    let regressions = compare_fleet_rows(&parent, &branch, threshold);
+    for r in &regressions {
+        println!(
+            "::warning::fleet bench regression at {} nodes / {} threads: \
+             {:.3} -> {:.3} ms per node-minute (+{:.1}%)",
+            r.nodes,
+            r.threads,
+            r.before,
+            r.after,
+            r.slowdown() * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench_diff: no cell regressed more than {:.0}% ({} baseline cells)",
+            threshold * 100.0,
+            parent.len()
+        );
+    }
+}

@@ -31,3 +31,4 @@ pub mod memory_experiments;
 pub mod overclock_experiments;
 pub mod placement_experiments;
 pub mod report;
+pub mod trajectory;

@@ -1,0 +1,223 @@
+//! The perf-trajectory tooling behind the committed `BENCH_fleet.json`
+//! artifact: a parser for the flat-object JSON that [`report::json_rows`]
+//! emits, and the row comparison CI uses to diff a branch's committed
+//! artifact against its parent's.
+//!
+//! Hand-rolled like the writer: the repo vendors no JSON crate, and the
+//! format is deliberately trivial — an array of flat `"name": number`
+//! objects, nothing nested, nothing quoted but field names.
+//!
+//! [`report::json_rows`]: crate::report::json_rows
+
+use std::collections::BTreeMap;
+
+/// One parsed row: field name → value (`None` for JSON `null`, which the
+/// writer emits for non-finite values).
+pub type BenchRow = BTreeMap<String, Option<f64>>;
+
+/// Parses the output of [`report::json_rows`] back into rows.
+///
+/// Tolerant of whitespace but nothing else: any token outside the flat
+/// array-of-objects shape is an error naming the offending snippet, so a
+/// corrupted artifact fails loudly instead of diffing as "no change".
+///
+/// [`report::json_rows`]: crate::report::json_rows
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rest = json.trim();
+    rest = expect(rest, '[')?;
+    let mut rows = Vec::new();
+    if let Some(after) = try_consume(rest, ']') {
+        return finish(after, rows);
+    }
+    loop {
+        let (row, after) = parse_object(rest)?;
+        rows.push(row);
+        rest = after.trim_start();
+        if let Some(after) = try_consume(rest, ',') {
+            rest = after;
+            continue;
+        }
+        rest = expect(rest, ']')?;
+        return finish(rest, rows);
+    }
+}
+
+fn finish(rest: &str, rows: Vec<BenchRow>) -> Result<Vec<BenchRow>, String> {
+    if rest.trim().is_empty() {
+        Ok(rows)
+    } else {
+        Err(format!("trailing content after array: {:?}", snippet(rest)))
+    }
+}
+
+fn parse_object(input: &str) -> Result<(BenchRow, &str), String> {
+    let mut rest = expect(input, '{')?;
+    let mut row = BenchRow::new();
+    if let Some(after) = try_consume(rest, '}') {
+        return Ok((row, after));
+    }
+    loop {
+        let (name, after) = parse_string(rest)?;
+        rest = expect(after, ':')?;
+        let (value, after) = parse_number(rest)?;
+        row.insert(name, value);
+        rest = after.trim_start();
+        if let Some(after) = try_consume(rest, ',') {
+            rest = after;
+            continue;
+        }
+        rest = expect(rest, '}')?;
+        return Ok((row, rest));
+    }
+}
+
+fn parse_string(input: &str) -> Result<(String, &str), String> {
+    let rest = expect(input, '"')?;
+    match rest.find('"') {
+        Some(end) => Ok((rest[..end].to_string(), &rest[end + 1..])),
+        None => Err(format!("unterminated string at {:?}", snippet(input))),
+    }
+}
+
+fn parse_number(input: &str) -> Result<(Option<f64>, &str), String> {
+    let rest = input.trim_start();
+    if let Some(after) = rest.strip_prefix("null") {
+        return Ok((None, after));
+    }
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end]
+        .parse::<f64>()
+        .map(|value| (Some(value), &rest[end..]))
+        .map_err(|_| format!("expected a number at {:?}", snippet(rest)))
+}
+
+fn expect(input: &str, token: char) -> Result<&str, String> {
+    try_consume(input, token).ok_or_else(|| format!("expected {token:?} at {:?}", snippet(input)))
+}
+
+fn try_consume(input: &str, token: char) -> Option<&str> {
+    input.trim_start().strip_prefix(token)
+}
+
+fn snippet(input: &str) -> &str {
+    &input[..input.len().min(24)]
+}
+
+/// One regression found by [`compare_fleet_rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Fleet size of the regressed cell.
+    pub nodes: u64,
+    /// Thread count of the regressed cell.
+    pub threads: u64,
+    /// Parent's wall-ms per node-minute.
+    pub before: f64,
+    /// Branch's wall-ms per node-minute.
+    pub after: f64,
+}
+
+impl Regression {
+    /// The relative slowdown, e.g. `0.25` for a 25% regression.
+    pub fn slowdown(&self) -> f64 {
+        self.after / self.before - 1.0
+    }
+}
+
+/// Compares two parsed `BENCH_fleet.json` artifacts cell by cell (keyed by
+/// `nodes` × `threads`) and returns every cell whose
+/// `wall_ms_per_node_minute` regressed by more than `threshold` (e.g. `0.2`
+/// for 20%). Cells present on only one side are skipped — growing the grid
+/// must not read as a regression — and so are rows missing the required
+/// fields (e.g. a schema too old to carry per-node cost).
+pub fn compare_fleet_rows(
+    parent: &[BenchRow],
+    branch: &[BenchRow],
+    threshold: f64,
+) -> Vec<Regression> {
+    let field = |row: &BenchRow, name: &str| row.get(name).copied().flatten();
+    let cell = |row: &BenchRow| -> Option<((u64, u64), f64)> {
+        let nodes = field(row, "nodes")? as u64;
+        let threads = field(row, "threads")? as u64;
+        let per_node = field(row, "wall_ms_per_node_minute")?;
+        Some(((nodes, threads), per_node))
+    };
+    let baseline: BTreeMap<(u64, u64), f64> = parent.iter().filter_map(cell).collect();
+    let mut regressions = Vec::new();
+    for row in branch {
+        let Some((key, after)) = cell(row) else { continue };
+        let Some(&before) = baseline.get(&key) else { continue };
+        if before > 0.0 && after / before - 1.0 > threshold {
+            regressions.push(Regression { nodes: key.0, threads: key.1, before, after });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_json_rows_writes() {
+        let json = crate::report::json_rows(&[
+            vec![("nodes", 8.0), ("threads", 2.0), ("wall_ms_per_node_minute", 11.5)],
+            vec![("nodes", 64.0), ("threads", 2.0), ("wall_ms_per_node_minute", f64::NAN)],
+        ]);
+        let rows = parse_rows(&json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["nodes"], Some(8.0));
+        assert_eq!(rows[0]["wall_ms_per_node_minute"], Some(11.5));
+        assert_eq!(rows[1]["wall_ms_per_node_minute"], None);
+    }
+
+    #[test]
+    fn parses_the_empty_array() {
+        assert_eq!(parse_rows("[]").unwrap(), Vec::<BenchRow>::new());
+        assert_eq!(parse_rows(" [\n]\n").unwrap(), Vec::<BenchRow>::new());
+    }
+
+    #[test]
+    fn rejects_malformed_artifacts() {
+        assert!(parse_rows("").is_err());
+        assert!(parse_rows("[{\"a\": }]").is_err());
+        assert!(parse_rows("[{\"a\": 1]").is_err());
+        assert!(parse_rows("[{\"a\": 1}] trailing").is_err());
+        assert!(parse_rows("[{\"a\" 1}]").is_err());
+    }
+
+    fn row(nodes: f64, threads: f64, per_node: f64) -> BenchRow {
+        BenchRow::from([
+            ("nodes".to_string(), Some(nodes)),
+            ("threads".to_string(), Some(threads)),
+            ("wall_ms_per_node_minute".to_string(), Some(per_node)),
+        ])
+    }
+
+    #[test]
+    fn flags_only_cells_beyond_the_threshold() {
+        let parent = vec![row(8.0, 1.0, 10.0), row(8.0, 2.0, 10.0)];
+        let branch = vec![
+            row(8.0, 1.0, 11.9),  // +19%: within threshold
+            row(8.0, 2.0, 12.5),  // +25%: regression
+            row(64.0, 1.0, 99.0), // no baseline cell: skipped
+        ];
+        let regressions = compare_fleet_rows(&parent, &branch, 0.2);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!((regressions[0].nodes, regressions[0].threads), (8, 2));
+        assert!((regressions[0].slowdown() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_is_never_a_regression() {
+        let parent = vec![row(8.0, 1.0, 10.0)];
+        let branch = vec![row(8.0, 1.0, 7.0)];
+        assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
+    }
+}

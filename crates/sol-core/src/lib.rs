@@ -113,8 +113,9 @@ pub mod prelude {
     };
     pub use crate::runtime::placement::{
         AgentTelemetry, ArrivalTrace, ArrivalTraceConfig, FleetCommand, FleetController, FleetView,
-        GreedyPacker, GreedyPackerConfig, NodePlacement, NodeView, NullController, PlacementError,
-        PlacementPlan, TraceEvent, TraceEventKind, WorkloadId, WorkloadUnit,
+        GreedyPacker, GreedyPackerConfig, NodeDelta, NodeInit, NodePlacement, NodeView,
+        NullController, PlacementError, PlacementPlan, TraceEvent, TraceEventKind, WorkloadId,
+        WorkloadUnit,
     };
     pub use crate::runtime::replay::{ReplayDriver, ReplayEntry};
     pub use crate::runtime::sim::{SimReport, SimRuntime};

@@ -244,8 +244,8 @@ impl<E: Environment + 'static> ScenarioBuilder<E> {
         schedule: Schedule,
     ) -> AgentHandle<M, A>
     where
-        M: Model + 'static,
-        A: Actuator<Pred = M::Pred> + 'static,
+        M: Model + Send + 'static,
+        A: Actuator<Pred = M::Pred> + Send + 'static,
     {
         AgentHandle::new(self.runtime.register_agent(name, model, actuator, schedule))
     }
@@ -255,8 +255,8 @@ impl<E: Environment + 'static> ScenarioBuilder<E> {
     /// blueprint's parts.
     pub fn register<M, A>(&mut self, blueprint: AgentBlueprint<M, A>) -> AgentHandle<M, A>
     where
-        M: Model + 'static,
-        A: Actuator<Pred = M::Pred> + 'static,
+        M: Model + Send + 'static,
+        A: Actuator<Pred = M::Pred> + Send + 'static,
     {
         self.agent(blueprint.name, blueprint.model, blueprint.actuator, blueprint.schedule)
     }

@@ -7,7 +7,9 @@
 //! [`ScenarioRecipe`] — a replayable closure over the
 //! [`ScenarioBuilder`](crate::runtime::builder::ScenarioBuilder), seeded per
 //! node through [`NodeSeed`] so nodes are heterogeneous but deterministic —
-//! shards the nodes across a worker-thread pool, synchronizes all of them on
+//! spreads the nodes across a work-stealing worker-thread pool (each worker
+//! owns a task deque and steals from its siblings once its own runs dry, so
+//! one slow node never idles a barrier), synchronizes all of them on
 //! epoch boundaries of one virtual clock, and aggregates every node's
 //! [`AgentStats`] into a [`FleetReport`] of fleet-level safety dashboards:
 //! safeguard-activation rates, environment metric summaries (SLO violations,
@@ -22,6 +24,16 @@
 //! migrate [`WorkloadUnit`]s) before releasing the barrier — see the
 //! [`placement`](crate::runtime::placement) module. [`FleetRuntime::run`] is
 //! sugar for running with the do-nothing [`NullController`].
+//!
+//! The view is delta-maintained: workers ship per-node [`NodeDelta`]s (one
+//! full observation at a node's first barrier, positional diffs after that)
+//! against one persistent coordinator-held base, so barrier cost scales with
+//! what changed rather than with fleet width — and a controller whose
+//! [`wants_view`](FleetController::wants_view) is `false` (like
+//! [`NullController`]) skips per-node extraction entirely. Node state lives
+//! in a slot arena shared between the coordinator and the workers in
+//! disjoint protocol phases, which is what lets lifecycle and placement
+//! phases apply directly instead of through per-phase message round trips.
 //!
 //! Node availability is programmable through the same plan: lifecycle events
 //! (crash / join / drain — see the [`lifecycle`](crate::runtime::lifecycle)
@@ -38,12 +50,15 @@
 //!   node index ([`NodeSeed::derive`]), so they never collide and never
 //!   depend on scheduling;
 //! * every node advances through the same epoch grid
-//!   (`epoch, 2·epoch, …, horizon`) regardless of which worker hosts it, so
-//!   a node's trajectory is independent of the thread count; and
-//! * aggregation folds nodes in index order, never completion order.
+//!   (`epoch, 2·epoch, …, horizon`) regardless of which worker claims it —
+//!   a node is a pure function of its seed and the grid, so work stealing
+//!   can rebalance freely without affecting any result; and
+//! * aggregation and every barrier fold are keyed by node index, never by
+//!   completion or steal order.
 //!
 //! The resulting [`FleetReport`] is byte-identical for 1, 2, or 64 worker
-//! threads (enforced in `tests/tests/determinism.rs`).
+//! threads, including under forced load imbalance and seeded fault plans
+//! (enforced in `tests/tests/determinism.rs` and `tests/tests/fleet.rs`).
 //!
 //! # Examples
 //!
@@ -101,17 +116,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
 use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::deque::{Steal, Stealer, Worker as TaskQueue};
 
 use crate::error::{ReportError, RuntimeError};
 use crate::runtime::builder::ScenarioRecipe;
 use crate::runtime::lifecycle::{FaultPlan, LifecycleEvent, NodeRecord, NodeRegistry, NodeState};
 use crate::runtime::node::{AgentId, NodeRuntime};
 use crate::runtime::placement::{
-    AgentTelemetry, FleetCommand, FleetController, FleetView, NodePlacement, NodeView,
-    NullController, PlacementPlan, WorkloadId, WorkloadUnit,
+    AgentTelemetry, FleetCommand, FleetController, FleetView, NodeDelta, NodeInit, NodePlacement,
+    NodeView, NullController, PlacementPlan, WorkloadId, WorkloadUnit,
 };
 use crate::runtime::Environment;
 use crate::stats::AgentStats;
@@ -444,77 +461,55 @@ impl FleetReport {
     }
 }
 
-/// One lifecycle change a worker must apply to its shard.
-enum LifecycleInstruction {
-    /// Stop running `node` now: summarize it and ship its resident units
-    /// back (the coordinator decides whether they are displaced or must be
-    /// empty). Sent for crashes and for completed drains.
-    Retire {
-        /// The global index of the node to retire.
-        node: usize,
-    },
-    /// Stamp a fresh node from the recipe. Its local clock starts at zero at
-    /// the current boundary (`start`), so the recipe sees the same virgin
-    /// timeline an initial node saw at fleet time zero.
-    Join {
-        /// The derived seed (and global index) of the new node.
-        seed: NodeSeed,
-        /// The fleet time at which the node joins.
-        start: Timestamp,
-    },
-}
+/// One unit of epoch work: a node's slot in the shared arena. The node index
+/// lives inside the slot (in its seed), so a task is just the `Arc`.
+type NodeTask<E> = Arc<NodeSlot<E>>;
 
 /// What a worker sends back to the coordinator.
 enum WorkerMsg {
-    /// All nodes owned by the worker reached the current epoch boundary;
-    /// carries their barrier telemetry snapshots.
-    EpochDone(Vec<NodeView>),
-    /// Results of the lifecycle phase: for each retired node, the workload
-    /// units that were resident when it stopped.
-    LifecycleDone(Vec<(usize, Vec<WorkloadUnit>)>),
-    /// Results of the detach phase, tagged back to the coordinator's command
-    /// table (`None` = the unit was not resident).
-    Detached(Vec<(usize, Option<WorkloadUnit>)>),
-    /// Outcome of the attach phase: success counts plus the tags of the
-    /// attaches that failed (so the coordinator can roll migrations back).
-    Attached { admitted: u64, migrated: u64, failed: Vec<usize> },
-    /// Number of rollback re-attaches that failed (units genuinely lost).
-    Restored { lost: u64 },
-    /// Final per-node outcomes (sent once, after the last epoch).
+    /// Every task of the current epoch this worker executed (claimed from
+    /// its own deque or stolen) reached the boundary; carries the deltas of
+    /// the nodes whose observable state changed.
+    EpochDone(Vec<NodeDelta>),
+    /// Final per-node outcomes (sent once, in response to `Finish`).
     Finished(Vec<FleetNodeReport>),
 }
 
-/// What the coordinator sends to a worker at each epoch boundary, in this
-/// fixed order: the lifecycle phase, the detach phase, the attach phase, the
-/// rollback phase, then (except after the final boundary) the barrier
-/// release.
-enum CoordMsg {
-    /// Lifecycle phase: retire crashed/drained nodes, stamp joined ones —
-    /// execute in order, echo each retired node's residents. Sent to every
-    /// worker at every boundary (usually empty).
-    Lifecycle(Vec<LifecycleInstruction>),
-    /// Detach phase: `(tag, node, workload)` — execute in order, echo the tag.
-    Detach(Vec<(usize, usize, WorkloadId)>),
-    /// Attach phase: `(tag, node, unit, is_migration)` — execute in order,
-    /// echo the tags of the attaches that failed.
-    Attach(Vec<(usize, usize, WorkloadUnit, bool)>),
-    /// Rollback phase: re-attach units whose migration attach failed to
-    /// their source node (`(node, unit)`).
-    Restore(Vec<(usize, WorkloadUnit)>),
-    /// Release the barrier into the next epoch.
-    Proceed,
+/// What the coordinator sends to a worker: one message per epoch (the entire
+/// lifecycle/placement phase runs coordinator-side against the shared
+/// arena), and one final summarize request.
+enum CoordMsg<E: Environment + 'static> {
+    /// Advance the epoch: push `tasks` onto the worker's own deque, then
+    /// claim tasks (own deque first, stealing when dry) until no work is
+    /// left anywhere, running each claimed node to `boundary`. `collect`
+    /// asks for full barrier observations (agent stats + telemetry deltas);
+    /// without it only each node's first observation is shipped.
+    Epoch {
+        /// The virtual time every node must reach.
+        boundary: Timestamp,
+        /// Whether the controller reads agent stats and telemetry.
+        collect: bool,
+        /// This worker's share of the epoch's tasks.
+        tasks: Vec<NodeTask<E>>,
+    },
+    /// Summarize the surviving nodes (same claiming discipline) and ship
+    /// their reports home. Terminates the worker.
+    Finish {
+        /// This worker's share of the summarize tasks.
+        tasks: Vec<NodeTask<E>>,
+    },
 }
 
 /// Drives *N* recipe-stamped [`NodeRuntime`]s under one virtual clock. See
 /// the [module docs](self).
 pub struct FleetRuntime<E: Environment + 'static> {
-    recipe: ScenarioRecipe<E>,
+    recipe: Arc<ScenarioRecipe<E>>,
     config: FleetConfig,
 }
 
 impl<E: Environment + 'static> Clone for FleetRuntime<E> {
     fn clone(&self) -> Self {
-        FleetRuntime { recipe: self.recipe.clone(), config: self.config.clone() }
+        FleetRuntime { recipe: Arc::clone(&self.recipe), config: self.config.clone() }
     }
 }
 
@@ -545,7 +540,10 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         if config.epoch.is_zero() {
             return Err(RuntimeError::InvalidConfig("fleet config: epoch must be non-zero".into()));
         }
-        Ok(FleetRuntime { recipe, config })
+        // The recipe is shared by reference from here on: worker threads and
+        // per-node runs borrow the same allocation instead of cloning the
+        // closure set per worker or per call.
+        Ok(FleetRuntime { recipe: Arc::new(recipe), config })
     }
 
     /// Validates a run horizon against the config (shared by
@@ -576,26 +574,43 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// Runs the whole fleet for `horizon` of virtual time with no placement
     /// activity: sugar for [`run_with`](Self::run_with) and the
     /// [`NullController`] — byte-identical results, same barrier protocol.
+    /// Because [`NullController`] declines the per-node view
+    /// ([`FleetController::wants_view`]), barriers skip agent-stat and
+    /// telemetry extraction entirely: the per-epoch fixed cost is one task
+    /// hand-off per live node.
     ///
     /// # Errors
     ///
     /// See [`run_with`](Self::run_with).
-    pub fn run(&self, horizon: SimDuration) -> Result<FleetReport, RuntimeError> {
+    pub fn run(&self, horizon: SimDuration) -> Result<FleetReport, RuntimeError>
+    where
+        E: Send,
+    {
         self.run_with(&mut NullController, horizon)
     }
 
     /// Runs the whole fleet for `horizon` of virtual time under a
-    /// [`FleetController`]: instantiates every node from the recipe, shards
-    /// the nodes across the worker pool, and advances all of them epoch by
-    /// epoch (no node enters epoch `k+1` before every node finished epoch
-    /// `k`). At every epoch boundary the controller receives a [`FleetView`]
-    /// of per-node telemetry and placement (folded in node-index order) and
-    /// returns a [`PlacementPlan`];
-    /// the plan is applied before the barrier is released — departures and
+    /// [`FleetController`]: stamps every node out of the recipe into a
+    /// shared slot arena and advances all of them epoch by epoch (no node
+    /// enters epoch `k+1` before every node finished epoch `k`). Epoch work
+    /// is distributed by work stealing — each worker thread owns a task
+    /// deque and steals from its siblings once its own runs dry — so barrier
+    /// wall time tracks the total work of the epoch, not the slowest static
+    /// shard. Which thread advances a node never affects results: a node's
+    /// trajectory is a pure function of its seed and the shared epoch grid,
+    /// and all barrier folds are keyed by node index.
+    ///
+    /// At every epoch boundary the controller receives a [`FleetView`] of
+    /// per-node telemetry and placement and returns a [`PlacementPlan`]; the
+    /// plan is applied before the barrier is released — departures and
     /// migration-detaches first, then admissions, then migration-attaches,
     /// each phase stable-sorted by target node index — so freed capacity is
-    /// available to the same barrier's admissions and results never depend
-    /// on the worker-thread layout.
+    /// available to the same barrier's admissions. The view is maintained as
+    /// one persistent base patched in place from per-node [`NodeDelta`]s, so
+    /// a quiet node costs nothing at the barrier; a controller whose
+    /// [`wants_view`](FleetController::wants_view) is `false` skips even
+    /// that, receiving views with exact `placement`/`state`/`displaced` but
+    /// empty per-node agent and telemetry vectors.
     ///
     /// The plan's lifecycle events are applied first, before any placement
     /// command: a crash retires the node and moves its residents into the
@@ -603,7 +618,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// fresh node from the recipe at the next free index (its
     /// [`NodeSeed`] is collision-free by construction), and a drain flips
     /// the node to `Draining` — it rejects admissions from this boundary on
-    /// and retires as `Drained` once a barrier snapshot shows it empty.
+    /// and retires as `Drained` once a barrier observation shows it empty.
     /// Every change is validated against the [`NodeRegistry`] state machine;
     /// an illegal transition aborts the run.
     ///
@@ -628,75 +643,132 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         &self,
         controller: &mut dyn FleetController,
         horizon: SimDuration,
-    ) -> Result<FleetReport, RuntimeError> {
+    ) -> Result<FleetReport, RuntimeError>
+    where
+        E: Send,
+    {
         self.check_horizon(horizon)?;
         let boundaries = epoch_boundaries(horizon, self.config.epoch);
         let threads = self.config.threads.min(self.config.nodes);
+        // Sampled once per run: whether barriers must extract agent stats
+        // and telemetry at all.
+        let collect = controller.wants_view();
 
-        // Static round-robin sharding: node i runs on worker i mod T. The
-        // assignment affects wall-clock only — every node's trajectory is a
-        // pure function of its seed, the shared epoch grid, and the
-        // (thread-independent) command stream the controller produces.
-        let owner = |index: usize| index % threads;
-        let mut assignments: Vec<Vec<NodeSeed>> = (0..threads).map(|_| Vec::new()).collect();
-        for index in 0..self.config.nodes {
-            assignments[owner(index)].push(self.node_seed(index));
-        }
+        // The slot arena: one persistent, mutex-guarded slot per node index,
+        // shared between the coordinator and whichever worker claims the
+        // node each epoch. Slots are stamped lazily (`Vacant`) and die in
+        // place (`Retired`), so a node's state never moves between
+        // allocations for the lifetime of the run, and the coordinator can
+        // apply lifecycle and placement phases directly — no per-phase
+        // message round trips.
+        let mut arena: Vec<Arc<NodeSlot<E>>> = (0..self.config.nodes)
+            .map(|index| NodeSlot::vacant(self.node_seed(index), Timestamp::ZERO))
+            .collect();
 
+        // Work-stealing pool: each worker owns a FIFO deque and steals from
+        // every sibling once its own runs dry, so one slow node no longer
+        // idles the whole barrier.
+        let queues: Vec<TaskQueue<NodeTask<E>>> =
+            (0..threads).map(|_| TaskQueue::new_fifo()).collect();
+        let stealers: Vec<Stealer<NodeTask<E>>> = queues.iter().map(|q| q.stealer()).collect();
         let mut links = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
-        for seeds in assignments {
-            let (cmd_tx, cmd_rx) = channel::unbounded::<CoordMsg>();
+        for (w, queue) in queues.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::unbounded::<CoordMsg<E>>();
             let (done_tx, done_rx) = channel::unbounded::<WorkerMsg>();
             links.push((cmd_tx, done_rx));
-            let recipe = self.recipe.clone();
-            let boundaries = boundaries.clone();
+            let recipe = Arc::clone(&self.recipe);
+            let siblings: Vec<Stealer<NodeTask<E>>> = stealers
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s != w)
+                .map(|(_, stealer)| stealer.clone())
+                .collect();
             let handle = thread::Builder::new()
                 .name("sol-fleet-worker".into())
-                .spawn(move || worker(recipe, seeds, boundaries, cmd_rx, done_tx))
+                .spawn(move || worker(recipe, queue, siblings, cmd_rx, done_tx))
                 .expect("spawn fleet worker");
             handles.push(handle);
         }
 
+        // The coordinator-held base view, patched in place from worker
+        // deltas at every barrier; the crash-displaced pool lives inside it.
+        // Initial entries are placeholders — every node ships a full first
+        // observation at its first barrier, before any controller looks.
+        let mut base = FleetView {
+            now: Timestamp::ZERO,
+            epoch: 0,
+            nodes: (0..self.config.nodes)
+                .map(|index| NodeView {
+                    node: index,
+                    agents: Vec::new(),
+                    telemetry: Vec::new(),
+                    placement: NodePlacement::none(),
+                    state: NodeState::Active,
+                })
+                .collect(),
+            displaced: Vec::new(),
+        };
+
         let mut node_reports: Vec<Option<FleetNodeReport>> = Vec::new();
+        // Reports of nodes retired mid-run, folded in with the survivors'.
+        let mut early_reports: Vec<FleetNodeReport> = Vec::new();
         let mut registry = NodeRegistry::new(self.config.nodes);
-        let mut displaced_pool: Vec<WorkloadUnit> = Vec::new();
         let mut placement = PlacementStats::default();
         let mut occupancy_sums = vec![0.0f64; self.config.nodes];
         let mut packing_sum = 0.0f64;
         let mut error: Option<RuntimeError> = None;
         let died = || RuntimeError::WorkerPanicked("fleet worker");
 
-        // Epoch barrier: collect one EpochDone (with telemetry snapshots) per
-        // worker, invoke the controller, apply its plan — lifecycle events
-        // first, then the placement phases — and release all workers into
-        // the next epoch. A worker death (recv error) aborts the protocol;
-        // dropping our command senders unblocks the remaining workers.
+        // Epoch barrier: fan the live nodes out as tasks, collect one
+        // EpochDone (with per-node deltas) per worker, invoke the controller
+        // on the patched base view, and apply its plan — lifecycle events
+        // first, then the placement phases — directly on the arena. A worker
+        // death (recv error) aborts the protocol; dropping our command
+        // senders unblocks the remaining workers.
         'protocol: {
             for (k, &boundary) in boundaries.iter().enumerate() {
                 let epoch = k as u64;
-                let mut views: Vec<Option<NodeView>> = (0..registry.len()).map(|_| None).collect();
+                // Round-robin over live nodes as the initial assignment;
+                // stealing rebalances whatever this gets wrong.
+                let mut tasks: Vec<Vec<NodeTask<E>>> = (0..threads).map(|_| Vec::new()).collect();
+                for (position, index) in (0..registry.len())
+                    .filter(|&index| registry.records()[index].state.is_live())
+                    .enumerate()
+                {
+                    tasks[position % threads].push(Arc::clone(&arena[index]));
+                }
+                for ((cmd_tx, _), batch) in links.iter().zip(tasks) {
+                    if cmd_tx.send(CoordMsg::Epoch { boundary, collect, tasks: batch }).is_err() {
+                        error = Some(died());
+                        break 'protocol;
+                    }
+                }
+                let mut barrier_failed = false;
                 for (_, done_rx) in &links {
                     match done_rx.recv() {
-                        Ok(WorkerMsg::EpochDone(snapshots)) => {
-                            for snapshot in snapshots {
-                                let index = snapshot.node;
-                                views[index] = Some(snapshot);
+                        Ok(WorkerMsg::EpochDone(deltas)) => {
+                            for delta in deltas {
+                                delta.apply(&mut base.nodes[delta.node]);
                             }
                         }
                         _ => {
-                            error = Some(died());
-                            break 'protocol;
+                            barrier_failed = true;
                         }
                     }
                 }
+                if barrier_failed {
+                    error = Some(died());
+                    break 'protocol;
+                }
 
-                // Registry bookkeeping from the fresh snapshots, before the
-                // controller sees the view: nodes that joined at an earlier
-                // boundary have run a full epoch and become Active; draining
-                // nodes observed empty retire as Drained this boundary.
+                // Registry bookkeeping from the fresh observations, before
+                // the controller sees the view: nodes that joined at an
+                // earlier boundary have run a full epoch and become Active;
+                // draining nodes observed empty retire as Drained this
+                // boundary.
                 let mut drain_retires: Vec<usize> = Vec::new();
-                for (index, view_slot) in views.iter().enumerate().take(registry.len()) {
+                for index in 0..registry.len() {
                     let record = registry.records()[index];
                     match record.state {
                         NodeState::Joining if record.joined_epoch < epoch => {
@@ -704,11 +776,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                                 .transition(index, NodeState::Active, epoch)
                                 .expect("joining -> active is legal");
                         }
-                        NodeState::Draining
-                            if view_slot
-                                .as_ref()
-                                .is_some_and(|v| v.placement.resident.is_empty()) =>
-                        {
+                        NodeState::Draining if base.nodes[index].placement.resident.is_empty() => {
                             registry
                                 .transition(index, NodeState::Drained, epoch)
                                 .expect("draining -> drained is legal");
@@ -718,44 +786,19 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     }
                 }
 
-                // The controller's view: live nodes carry their snapshots,
-                // retired nodes appear as tombstones, every entry is stamped
-                // with its registry state, and the crash-displaced pool rides
-                // along so controllers must confront unplaced work.
-                let view = FleetView {
-                    now: boundary,
-                    epoch,
-                    nodes: views
-                        .into_iter()
-                        .enumerate()
-                        .map(|(index, snapshot)| {
-                            let state = registry.records()[index].state;
-                            match snapshot {
-                                Some(mut v) => {
-                                    v.state = state;
-                                    v
-                                }
-                                None => {
-                                    debug_assert!(!state.is_live(), "live node must snapshot");
-                                    NodeView {
-                                        node: index,
-                                        agents: Vec::new(),
-                                        telemetry: Vec::new(),
-                                        placement: NodePlacement::none(),
-                                        state,
-                                    }
-                                }
-                            }
-                        })
-                        .collect(),
-                    displaced: displaced_pool.clone(),
-                };
+                // Stamp the barrier position and every node's registry state
+                // onto the base view (retired nodes were tombstoned when
+                // they retired).
+                base.now = boundary;
+                base.epoch = epoch;
+                for (index, view) in base.nodes.iter_mut().enumerate() {
+                    view.state = registry.records()[index].state;
+                }
 
-                // Occupancy bookkeeping from the barrier snapshots (taken
-                // before this boundary's plan is applied).
+                // Occupancy bookkeeping from the (pre-plan) base view.
                 let mut used_total = 0.0;
                 let mut capacity_total = 0.0;
-                for node in &view.nodes {
+                for node in &base.nodes {
                     occupancy_sums[node.node] += node.placement.occupancy();
                     used_total += node.placement.used();
                     capacity_total += node.placement.capacity;
@@ -764,26 +807,24 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     packing_sum += used_total / capacity_total;
                 }
 
-                let plan = controller.plan(&view);
+                let plan = controller.plan(&base);
                 placement.commands += plan.len() as u64;
                 let (commands, lifecycle_events) = plan.into_parts();
 
-                // Lifecycle phase: apply the plan's events to the registry —
-                // an illegal transition is a loud error, never a silent
-                // repair — and turn them into per-worker instructions.
-                // Completed drains retire first, then plan events in issue
-                // order.
-                let mut instructions: Vec<LifecycleInstruction> = Vec::new();
+                // Lifecycle phase, applied directly on the arena: the plan's
+                // events update the registry in issue order — an illegal
+                // transition is a loud error, never a silent repair — then
+                // completed drains and fresh crashes retire together, in
+                // node order, so the displaced pool's layout is independent
+                // of issue order.
+                let mut retiring: Vec<usize> = drain_retires;
                 let mut crash_retires: Vec<usize> = Vec::new();
-                for &node in &drain_retires {
-                    instructions.push(LifecycleInstruction::Retire { node });
-                }
                 for event in lifecycle_events {
                     let outcome = match event {
                         LifecycleEvent::Crash { node } => {
                             registry.transition(node, NodeState::Crashed, epoch).map(|()| {
                                 crash_retires.push(node);
-                                instructions.push(LifecycleInstruction::Retire { node });
+                                retiring.push(node);
                             })
                         }
                         LifecycleEvent::Drain { node } => {
@@ -791,9 +832,16 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         }
                         LifecycleEvent::Join => {
                             let index = registry.join(epoch);
-                            instructions.push(LifecycleInstruction::Join {
-                                seed: NodeSeed::derive(self.config.seed, index as u64),
-                                start: boundary,
+                            arena.push(NodeSlot::vacant(
+                                NodeSeed::derive(self.config.seed, index as u64),
+                                boundary,
+                            ));
+                            base.nodes.push(NodeView {
+                                node: index,
+                                agents: Vec::new(),
+                                telemetry: Vec::new(),
+                                placement: NodePlacement::none(),
+                                state: NodeState::Joining,
                             });
                             Ok(())
                         }
@@ -804,54 +852,27 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     }
                 }
                 occupancy_sums.resize(registry.len(), 0.0);
-                for (w, (cmd_tx, _)) in links.iter().enumerate() {
-                    let batch: Vec<LifecycleInstruction> = instructions
-                        .iter()
-                        .filter(|instruction| {
-                            let node = match instruction {
-                                LifecycleInstruction::Retire { node } => *node,
-                                LifecycleInstruction::Join { seed, .. } => seed.index() as usize,
-                            };
-                            owner(node) == w
-                        })
-                        .map(|instruction| match instruction {
-                            LifecycleInstruction::Retire { node } => {
-                                LifecycleInstruction::Retire { node: *node }
-                            }
-                            LifecycleInstruction::Join { seed, start } => {
-                                LifecycleInstruction::Join { seed: *seed, start: *start }
-                            }
-                        })
-                        .collect();
-                    if cmd_tx.send(CoordMsg::Lifecycle(batch)).is_err() {
-                        error = Some(died());
-                        break 'protocol;
-                    }
-                }
-                let mut retired: Vec<(usize, Vec<WorkloadUnit>)> = Vec::new();
-                for (_, done_rx) in &links {
-                    match done_rx.recv() {
-                        Ok(WorkerMsg::LifecycleDone(outcomes)) => retired.extend(outcomes),
-                        _ => {
-                            error = Some(died());
-                            break 'protocol;
-                        }
-                    }
-                }
-                // Sorted by node index so the displaced pool's order is
-                // independent of how nodes shard across workers.
-                retired.sort_by_key(|&(node, _)| node);
-                for (node, residents) in retired {
+
+                retiring.sort_unstable();
+                for &node in &retiring {
+                    let (report, residents) = arena[node].retire(&self.recipe);
+                    early_reports.push(report);
+                    // Tombstone the base entry; its state stamp comes off
+                    // the registry at the next barrier, like every node's.
+                    let view = &mut base.nodes[node];
+                    view.agents = Vec::new();
+                    view.telemetry = Vec::new();
+                    view.placement = NodePlacement::none();
                     if crash_retires.contains(&node) {
                         // Crashed: residents are displaced and must be
                         // re-placed by the controller.
                         placement.displaced += residents.len() as u64;
-                        displaced_pool.extend(residents);
+                        base.displaced.extend(residents);
                     } else if !residents.is_empty() {
                         // A node only retires as Drained after a barrier
-                        // snapshot showed it empty, and nothing may attach
-                        // in between; resident units here mean the protocol
-                        // is broken.
+                        // observation showed it empty, and nothing may
+                        // attach in between; resident units here mean the
+                        // protocol is broken.
                         error = Some(RuntimeError::InvalidConfig(format!(
                             "drained node {node} still hosts {} workload unit(s)",
                             residents.len()
@@ -924,7 +945,12 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     }
                 }
 
-                // Detach phase (departures + migration sources).
+                // Detach phase (departures + migration sources), applied on
+                // the arena in (node, tag) order — the same order the
+                // sharded protocol produced. `touched` collects every node
+                // whose placement the phases may have changed, for the
+                // mirror refresh below.
+                let mut touched: Vec<usize> = Vec::new();
                 let detach_sources: Vec<usize> = detaches.iter().map(|&(node, _)| node).collect();
                 let mut tagged: Vec<(usize, usize, WorkloadId)> = detaches
                     .into_iter()
@@ -932,27 +958,12 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     .map(|(tag, (node, workload))| (tag, node, workload))
                     .collect();
                 tagged.sort_by_key(|&(tag, node, _)| (node, tag));
-                for (w, (cmd_tx, _)) in links.iter().enumerate() {
-                    let batch: Vec<(usize, usize, WorkloadId)> =
-                        tagged.iter().filter(|&&(_, node, _)| owner(node) == w).copied().collect();
-                    if cmd_tx.send(CoordMsg::Detach(batch)).is_err() {
-                        error = Some(died());
-                        break 'protocol;
-                    }
-                }
                 let mut recovered: Vec<Option<WorkloadUnit>> = vec![None; detach_targets.len()];
-                for (_, done_rx) in &links {
-                    match done_rx.recv() {
-                        Ok(WorkerMsg::Detached(results)) => {
-                            for (tag, unit) in results {
-                                recovered[tag] = unit;
-                            }
-                        }
-                        _ => {
-                            error = Some(died());
-                            break 'protocol;
-                        }
-                    }
+                for &(tag, node, workload) in &tagged {
+                    touched.push(node);
+                    recovered[tag] = arena[node]
+                        .with_live(|shard| shard.runtime.detach_workload(workload).ok())
+                        .flatten();
                 }
                 for (tag, target) in detach_targets.iter().enumerate() {
                     match (&recovered[tag], target) {
@@ -963,9 +974,9 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                 }
 
                 // Attach phase: admissions (plan order), then migration
-                // re-attaches (plan order), dispatched stable-sorted by
-                // target node. `attach_table[tag]` keeps the migration
-                // source so a failed attach can be rolled back.
+                // re-attaches (plan order), applied stable-sorted by target
+                // node. `attach_table[tag]` keeps the migration source so a
+                // failed attach can be rolled back.
                 let mut attach_table: Vec<(usize, WorkloadUnit, Option<usize>)> = Vec::new();
                 for (node, unit) in admissions {
                     attach_table.push((node, unit, None));
@@ -977,32 +988,17 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                 }
                 let mut order: Vec<usize> = (0..attach_table.len()).collect();
                 order.sort_by_key(|&tag| (attach_table[tag].0, tag));
-                for (w, (cmd_tx, _)) in links.iter().enumerate() {
-                    let batch: Vec<(usize, usize, WorkloadUnit, bool)> = order
-                        .iter()
-                        .filter(|&&tag| owner(attach_table[tag].0) == w)
-                        .map(|&tag| {
-                            let (node, unit, source) = attach_table[tag];
-                            (tag, node, unit, source.is_some())
-                        })
-                        .collect();
-                    if cmd_tx.send(CoordMsg::Attach(batch)).is_err() {
-                        error = Some(died());
-                        break 'protocol;
-                    }
-                }
                 let mut failed_tags: Vec<usize> = Vec::new();
-                for (_, done_rx) in &links {
-                    match done_rx.recv() {
-                        Ok(WorkerMsg::Attached { admitted, migrated, failed }) => {
-                            placement.admitted += admitted;
-                            placement.migrated += migrated;
-                            failed_tags.extend(failed);
-                        }
-                        _ => {
-                            error = Some(died());
-                            break 'protocol;
-                        }
+                for &tag in &order {
+                    let (node, unit, source) = attach_table[tag];
+                    touched.push(node);
+                    let attached = arena[node]
+                        .with_live(|shard| shard.runtime.attach_workload(unit).is_ok())
+                        .unwrap_or(false);
+                    match (attached, source.is_some()) {
+                        (true, false) => placement.admitted += 1,
+                        (true, true) => placement.migrated += 1,
+                        (false, _) => failed_tags.push(tag),
                     }
                 }
 
@@ -1024,41 +1020,49 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                 // Displaced units whose re-admission landed leave the pool.
                 for (tag, (_, unit, source)) in attach_table.iter().enumerate() {
                     if source.is_none() && failed_tags.binary_search(&tag).is_err() {
-                        if let Some(pos) = displaced_pool.iter().position(|u| u.id == unit.id) {
-                            displaced_pool.remove(pos);
+                        if let Some(pos) = base.displaced.iter().position(|u| u.id == unit.id) {
+                            base.displaced.remove(pos);
                             placement.replaced += 1;
                         }
                     }
                 }
-                for (w, (cmd_tx, _)) in links.iter().enumerate() {
-                    let batch: Vec<(usize, WorkloadUnit)> =
-                        restores.iter().filter(|&&(node, _)| owner(node) == w).copied().collect();
-                    if cmd_tx.send(CoordMsg::Restore(batch)).is_err() {
-                        error = Some(died());
-                        break 'protocol;
-                    }
-                }
-                for (_, done_rx) in &links {
-                    match done_rx.recv() {
-                        Ok(WorkerMsg::Restored { lost }) => {
-                            // A unit that could not even return home is
-                            // genuinely lost; make that loud in the stats.
-                            placement.failed_placements += lost;
-                        }
-                        _ => {
-                            error = Some(died());
-                            break 'protocol;
-                        }
+                for &(node, unit) in &restores {
+                    touched.push(node);
+                    let restored = arena[node]
+                        .with_live(|shard| shard.runtime.attach_workload(unit).is_ok())
+                        .unwrap_or(false);
+                    if !restored {
+                        // A unit that could not even return home is
+                        // genuinely lost; make that loud in the stats.
+                        placement.failed_placements += 1;
                     }
                 }
 
-                if k + 1 < boundaries.len() {
-                    for (cmd_tx, _) in &links {
-                        if cmd_tx.send(CoordMsg::Proceed).is_err() {
-                            error = Some(died());
-                            break 'protocol;
-                        }
+                // Placement changes only through the hooks above, so the
+                // mirror refresh re-reads truth for the touched nodes alone;
+                // every other node's mirrored placement is already exact.
+                touched.sort_unstable();
+                touched.dedup();
+                for &node in &touched {
+                    if let Some(now) = arena[node].with_live(|shard| shard.runtime.placement()) {
+                        base.nodes[node].placement = now;
                     }
+                }
+            }
+
+            // Finish: surviving nodes summarize through the same stealing
+            // pool (summaries are independent; reports re-sort by index).
+            let mut tasks: Vec<Vec<NodeTask<E>>> = (0..threads).map(|_| Vec::new()).collect();
+            for (position, index) in (0..registry.len())
+                .filter(|&index| registry.records()[index].state.is_live())
+                .enumerate()
+            {
+                tasks[position % threads].push(Arc::clone(&arena[index]));
+            }
+            for ((cmd_tx, _), batch) in links.iter().zip(tasks) {
+                if cmd_tx.send(CoordMsg::Finish { tasks: batch }).is_err() {
+                    error = Some(died());
+                    break 'protocol;
                 }
             }
             node_reports.resize_with(registry.len(), || None);
@@ -1075,6 +1079,10 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         break 'protocol;
                     }
                 }
+            }
+            for report in early_reports.drain(..) {
+                let index = report.node;
+                node_reports[index] = Some(report);
             }
         }
 
@@ -1100,7 +1108,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         placement.packing_efficiency = packing_sum / epochs;
         // Displaced units nobody re-placed did not survive the run; that must
         // be loud in the stats, not silently forgotten with the pool.
-        placement.failed_placements += displaced_pool.len() as u64;
+        placement.failed_placements += base.displaced.len() as u64;
 
         let mut nodes: Vec<FleetNodeReport> =
             node_reports.into_iter().map(|r| r.expect("every node reported")).collect();
@@ -1131,7 +1139,10 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         controller: &mut dyn FleetController,
         faults: FaultPlan,
         horizon: SimDuration,
-    ) -> Result<FleetReport, RuntimeError> {
+    ) -> Result<FleetReport, RuntimeError>
+    where
+        E: Send,
+    {
         let mut injector = FaultInjector { inner: controller, faults };
         self.run_with(&mut injector, horizon)
     }
@@ -1187,6 +1198,10 @@ impl FleetController for FaultInjector<'_> {
         }
         plan
     }
+
+    fn wants_view(&self) -> bool {
+        self.inner.wants_view()
+    }
 }
 
 /// The epoch grid: `epoch, 2·epoch, …` clamped to the horizon, ending
@@ -1204,16 +1219,36 @@ fn epoch_boundaries(horizon: SimDuration, epoch: SimDuration) -> Vec<Timestamp> 
     }
 }
 
-/// One node of a worker's shard: its seed, its live runtime, and the fleet
-/// time at which its local clock started (non-zero for nodes joined
-/// mid-run).
+/// One stamped node: its seed, its live runtime, the fleet time at which its
+/// local clock started (non-zero for nodes joined mid-run), and the
+/// last-shipped observation baselines its barrier deltas diff against.
 struct ShardNode<E: Environment + 'static> {
     seed: NodeSeed,
     runtime: NodeRuntime<E>,
     start: Timestamp,
+    /// Per-role stats as of the last shipped observation, indexed by
+    /// [`AgentId`] order (the order `agent_snapshots` reports).
+    stats_base: Vec<AgentStats>,
+    /// Telemetry readings as of the last shipped observation, positional.
+    telemetry_base: Vec<f64>,
+    /// Whether a first full observation has been shipped yet.
+    observed: bool,
 }
 
 impl<E: Environment + 'static> ShardNode<E> {
+    /// Stamps the node out of the recipe. Baselines stay empty until the
+    /// first barrier observation ships.
+    fn stamp(recipe: &ScenarioRecipe<E>, seed: NodeSeed, start: Timestamp) -> Self {
+        ShardNode {
+            runtime: recipe.instantiate(&seed),
+            seed,
+            start,
+            stats_base: Vec::new(),
+            telemetry_base: Vec::new(),
+            observed: false,
+        }
+    }
+
     /// Maps fleet time onto this node's local clock. A joined node starts a
     /// virgin timeline at its join boundary, so the recipe's schedules and
     /// seed-derived phases behave exactly as on a node present from the
@@ -1221,144 +1256,241 @@ impl<E: Environment + 'static> ShardNode<E> {
     fn local(&self, fleet_time: Timestamp) -> Timestamp {
         Timestamp::ZERO + fleet_time.duration_since(self.start)
     }
-}
 
-/// Worker body: advance every owned node to each epoch boundary, ship the
-/// barrier snapshots, execute the coordinator's lifecycle, detach, attach,
-/// and rollback phases, wait for the release, repeat; then finish the
-/// surviving nodes and ship their summaries home together with those of the
-/// nodes retired mid-run.
-fn worker<E: Environment + 'static>(
-    recipe: ScenarioRecipe<E>,
-    seeds: Vec<NodeSeed>,
-    boundaries: Vec<Timestamp>,
-    cmd_rx: Receiver<CoordMsg>,
-    done_tx: Sender<WorkerMsg>,
-) {
-    let mut nodes: Vec<ShardNode<E>> = seeds
-        .into_iter()
-        .map(|seed| ShardNode { runtime: recipe.instantiate(&seed), seed, start: Timestamp::ZERO })
-        .collect();
-    // Reports of nodes retired mid-run (crashed or drained), shipped home
-    // with the survivors' when the run ends.
-    let mut finished: Vec<FleetNodeReport> = Vec::new();
-    // Global node index → position in this worker's shard.
-    let position = |nodes: &[ShardNode<E>], index: usize| -> Option<usize> {
-        nodes.iter().position(|node| node.seed.index() as usize == index)
-    };
-    for (k, &boundary) in boundaries.iter().enumerate() {
-        for node in &mut nodes {
-            let until = node.local(boundary);
-            node.runtime.run_until(until);
+    /// The barrier observation as a delta against the last one. The first
+    /// call ships a full [`NodeInit`] (placement always, agent stats and
+    /// telemetry only when `collect`); later calls diff against the shipped
+    /// baselines and return `None` when nothing changed — the common case
+    /// for quiet nodes, costing the coordinator nothing.
+    fn observe(&mut self, recipe: &ScenarioRecipe<E>, collect: bool) -> Option<NodeDelta> {
+        let node = self.seed.index() as usize;
+        let mut delta = NodeDelta::empty(node);
+        if !self.observed {
+            self.observed = true;
+            delta.init = Some(self.full_observation(recipe, collect));
+            return Some(delta);
         }
-        let snapshots = nodes
-            .iter()
-            .map(|node| NodeView {
-                node: node.seed.index() as usize,
-                agents: node
-                    .runtime
-                    .agent_snapshots()
-                    .into_iter()
-                    .map(|(name, stats)| AgentTelemetry { name, stats })
-                    .collect(),
-                telemetry: recipe.extract_telemetry(node.runtime.environment()),
-                placement: node.runtime.placement(),
-                // Placeholder: the coordinator stamps the registry state
-                // onto every view before the controller sees it.
-                state: NodeState::Active,
-            })
-            .collect();
-        if done_tx.send(WorkerMsg::EpochDone(snapshots)).is_err() {
-            return;
+        if !collect {
+            return None;
         }
-        // Lifecycle phase: retire crashed and drained nodes (reporting the
-        // units still resident on them) and stamp freshly joined nodes out
-        // of the recipe. A closed channel at any point means the run was
-        // aborted (another worker died, or the controller erred) — exit
-        // quietly.
-        let instructions = match cmd_rx.recv() {
-            Ok(CoordMsg::Lifecycle(batch)) => batch,
-            _ => return,
-        };
-        let mut outcomes: Vec<(usize, Vec<WorkloadUnit>)> = Vec::new();
-        for instruction in instructions {
-            match instruction {
-                LifecycleInstruction::Retire { node } => {
-                    let pos = position(&nodes, node).expect("retired node is owned and live");
-                    let shard = nodes.remove(pos);
-                    let residents = shard.runtime.placement().resident;
-                    finished.push(summarize(&recipe, shard.seed, shard.runtime));
-                    outcomes.push((node, residents));
-                }
-                LifecycleInstruction::Join { seed, start } => {
-                    nodes.push(ShardNode { runtime: recipe.instantiate(&seed), seed, start });
-                }
+        for role in 0..self.stats_base.len() {
+            let stats = self.runtime.agent_stats(AgentId::from(role));
+            if stats != self.stats_base[role] {
+                self.stats_base[role] = stats.clone();
+                delta.agents.push((role, stats));
             }
         }
-        if done_tx.send(WorkerMsg::LifecycleDone(outcomes)).is_err() {
-            return;
+        let readings = recipe.extract_telemetry(self.runtime.environment());
+        if readings.len() != self.telemetry_base.len() {
+            // The telemetry shape changed; re-ship everything rather than
+            // patch positionally against a stale layout.
+            delta.agents.clear();
+            delta.init = Some(self.full_observation(recipe, collect));
+            return Some(delta);
         }
-        // Detach phase.
-        let detaches = match cmd_rx.recv() {
-            Ok(CoordMsg::Detach(batch)) => batch,
-            _ => return,
-        };
-        let results = detaches
-            .into_iter()
-            .map(|(tag, index, workload)| {
-                let unit = position(&nodes, index)
-                    .and_then(|pos| nodes[pos].runtime.detach_workload(workload).ok());
-                (tag, unit)
-            })
-            .collect();
-        if done_tx.send(WorkerMsg::Detached(results)).is_err() {
-            return;
-        }
-        // Attach phase.
-        let attaches = match cmd_rx.recv() {
-            Ok(CoordMsg::Attach(batch)) => batch,
-            _ => return,
-        };
-        let mut admitted = 0u64;
-        let mut migrated = 0u64;
-        let mut failed: Vec<usize> = Vec::new();
-        for (tag, index, unit, is_migration) in attaches {
-            let attached = position(&nodes, index)
-                .map(|pos| nodes[pos].runtime.attach_workload(unit).is_ok())
-                .unwrap_or(false);
-            match (attached, is_migration) {
-                (true, false) => admitted += 1,
-                (true, true) => migrated += 1,
-                (false, _) => failed.push(tag),
+        for (slot, (_, value)) in readings.into_iter().enumerate() {
+            if value != self.telemetry_base[slot] {
+                self.telemetry_base[slot] = value;
+                delta.telemetry.push((slot, value));
             }
         }
-        if done_tx.send(WorkerMsg::Attached { admitted, migrated, failed }).is_err() {
-            return;
-        }
-        // Rollback phase: units whose migration attach failed return to
-        // their source node (its capacity was freed by the detach).
-        let restores = match cmd_rx.recv() {
-            Ok(CoordMsg::Restore(batch)) => batch,
-            _ => return,
-        };
-        let mut lost = 0u64;
-        for (index, unit) in restores {
-            let restored = position(&nodes, index)
-                .map(|pos| nodes[pos].runtime.attach_workload(unit).is_ok())
-                .unwrap_or(false);
-            if !restored {
-                lost += 1;
-            }
-        }
-        if done_tx.send(WorkerMsg::Restored { lost }).is_err() {
-            return;
-        }
-        if k + 1 < boundaries.len() && !matches!(cmd_rx.recv(), Ok(CoordMsg::Proceed)) {
-            return;
+        if delta.is_empty() {
+            None
+        } else {
+            Some(delta)
         }
     }
-    finished.extend(nodes.into_iter().map(|node| summarize(&recipe, node.seed, node.runtime)));
-    let _ = done_tx.send(WorkerMsg::Finished(finished));
+
+    /// A full observation, refreshing the diff baselines. Placement is
+    /// always exact (the coordinator mirrors it); agent stats and telemetry
+    /// are extracted only when some controller will read them.
+    fn full_observation(&mut self, recipe: &ScenarioRecipe<E>, collect: bool) -> NodeInit {
+        let mut init = NodeInit {
+            agents: Vec::new(),
+            telemetry: Vec::new(),
+            placement: self.runtime.placement(),
+        };
+        if collect {
+            init.agents = self
+                .runtime
+                .agent_snapshots()
+                .into_iter()
+                .map(|(name, stats)| AgentTelemetry { name, stats })
+                .collect();
+            init.telemetry = recipe.extract_telemetry(self.runtime.environment());
+            self.stats_base = init.agents.iter().map(|a| a.stats.clone()).collect();
+            self.telemetry_base = init.telemetry.iter().map(|&(_, value)| value).collect();
+        }
+        init
+    }
+}
+
+/// A node's lifetime inside its arena slot: recipe-stampable, stamped, or
+/// permanently retired.
+enum Slot<E: Environment + 'static> {
+    /// Not yet stamped: holds everything needed to stamp on first claim, so
+    /// construction cost lands on whichever worker first advances the node,
+    /// not on the coordinator.
+    Vacant { seed: NodeSeed, start: Timestamp },
+    /// Stamped and running.
+    Live(ShardNode<E>),
+    /// Retired (crashed or drained); its report already shipped.
+    Retired,
+}
+
+/// One arena slot, shared between the coordinator and the workers. The
+/// protocol keeps their accesses in disjoint phases (workers only between
+/// `Epoch`/`Finish` send and `EpochDone`/`Finished` receive, the coordinator
+/// only outside them), so the mutex is never contended — it exists to make
+/// the sharing sound, not to arbitrate races.
+struct NodeSlot<E: Environment + 'static>(Mutex<Slot<E>>);
+
+impl<E: Environment + 'static> NodeSlot<E> {
+    fn vacant(seed: NodeSeed, start: Timestamp) -> Arc<Self> {
+        Arc::new(NodeSlot(Mutex::new(Slot::Vacant { seed, start })))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Slot<E>> {
+        // A worker that panicked never sends its EpochDone, so the
+        // coordinator aborts before touching the slots it poisoned; this
+        // expect is a backstop, not a code path.
+        self.0.lock().expect("fleet node slot poisoned")
+    }
+
+    /// Stamps the node if needed, advances it to the epoch boundary, and
+    /// returns its barrier observation delta (None for an unchanged node or
+    /// a retired slot).
+    fn advance(
+        &self,
+        recipe: &ScenarioRecipe<E>,
+        boundary: Timestamp,
+        collect: bool,
+    ) -> Option<NodeDelta> {
+        let mut guard = self.lock();
+        if let Slot::Vacant { seed, start } = *guard {
+            *guard = Slot::Live(ShardNode::stamp(recipe, seed, start));
+        }
+        let Slot::Live(node) = &mut *guard else { return None };
+        let until = node.local(boundary);
+        node.runtime.run_until(until);
+        node.observe(recipe, collect)
+    }
+
+    /// Finishes the node and takes its report, leaving the slot `Retired`.
+    /// A still-vacant slot (a node that joined at the final boundary) is
+    /// stamped first so it reports like any zero-advancement node.
+    fn summarize_slot(&self, recipe: &ScenarioRecipe<E>) -> Option<FleetNodeReport> {
+        let mut guard = self.lock();
+        if let Slot::Vacant { seed, start } = *guard {
+            *guard = Slot::Live(ShardNode::stamp(recipe, seed, start));
+        }
+        match std::mem::replace(&mut *guard, Slot::Retired) {
+            Slot::Live(node) => Some(summarize(recipe, node.seed, node.runtime)),
+            _ => None,
+        }
+    }
+
+    /// Retires the node mid-run: reports it and surfaces the workload units
+    /// still resident on it (the coordinator displaces a crashed node's,
+    /// and treats a drained node's as a protocol violation). A vacant slot
+    /// (a node crashed at its own join boundary) is stamped first, matching
+    /// the eager-instantiation behaviour of the sharded protocol.
+    fn retire(&self, recipe: &ScenarioRecipe<E>) -> (FleetNodeReport, Vec<WorkloadUnit>) {
+        let mut guard = self.lock();
+        if let Slot::Vacant { seed, start } = *guard {
+            *guard = Slot::Live(ShardNode::stamp(recipe, seed, start));
+        }
+        match std::mem::replace(&mut *guard, Slot::Retired) {
+            Slot::Live(node) => {
+                let residents = node.runtime.placement().resident;
+                (summarize(recipe, node.seed, node.runtime), residents)
+            }
+            _ => unreachable!("retired node is live or vacant"),
+        }
+    }
+
+    /// Runs `f` on the live node, if the slot is live. The coordinator's
+    /// placement hooks go through this: a command addressed to a node whose
+    /// slot is vacant (joined this very barrier) or retired fails, exactly
+    /// as it did against the sharded protocol's position lookup.
+    fn with_live<R>(&self, f: impl FnOnce(&mut ShardNode<E>) -> R) -> Option<R> {
+        let mut guard = self.lock();
+        match &mut *guard {
+            Slot::Live(node) => Some(f(node)),
+            _ => None,
+        }
+    }
+}
+
+/// Claims the next task: the worker's own queue first (FIFO, preserving the
+/// coordinator's assignment order), then steals from siblings. Returns
+/// `None` only once the own queue is drained and every sibling reported
+/// `Empty` in a full sweep with no `Retry` — at which point every task of
+/// the barrier is claimed by someone.
+fn claim<T>(queue: &TaskQueue<T>, stealers: &[Stealer<T>]) -> Option<T> {
+    if let Some(task) = queue.pop() {
+        return Some(task);
+    }
+    loop {
+        let mut retry = false;
+        for stealer in stealers {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Worker body: on each `Epoch` command, push the assigned slots onto the
+/// own deque, then claim-and-advance (own queue first, stealing once it
+/// runs dry) until no task is left anywhere, and ship the observation
+/// deltas home in one message. `Finish` summarizes the surviving nodes the
+/// same way. A closed channel at any point means the run was aborted
+/// (another worker died, or the controller erred) — exit quietly.
+fn worker<E: Environment + Send + 'static>(
+    recipe: Arc<ScenarioRecipe<E>>,
+    queue: TaskQueue<NodeTask<E>>,
+    stealers: Vec<Stealer<NodeTask<E>>>,
+    cmd_rx: Receiver<CoordMsg<E>>,
+    done_tx: Sender<WorkerMsg>,
+) {
+    loop {
+        match cmd_rx.recv() {
+            Ok(CoordMsg::Epoch { boundary, collect, tasks }) => {
+                for task in tasks {
+                    queue.push(task);
+                }
+                let mut deltas = Vec::new();
+                while let Some(slot) = claim(&queue, &stealers) {
+                    if let Some(delta) = slot.advance(&recipe, boundary, collect) {
+                        deltas.push(delta);
+                    }
+                }
+                if done_tx.send(WorkerMsg::EpochDone(deltas)).is_err() {
+                    return;
+                }
+            }
+            Ok(CoordMsg::Finish { tasks }) => {
+                for task in tasks {
+                    queue.push(task);
+                }
+                let mut finished = Vec::new();
+                while let Some(slot) = claim(&queue, &stealers) {
+                    if let Some(report) = slot.summarize_slot(&recipe) {
+                        finished.push(report);
+                    }
+                }
+                let _ = done_tx.send(WorkerMsg::Finished(finished));
+                return;
+            }
+            Err(_) => return,
+        }
+    }
 }
 
 /// Finishes one node and boils its report down to the `Send`-able summary

@@ -73,6 +73,15 @@ impl std::fmt::Display for AgentId {
     }
 }
 
+impl From<usize> for AgentId {
+    /// Builds the id of the agent at registration position `index`. The
+    /// mapping is the inverse of [`AgentId::index`]; an out-of-range position
+    /// surfaces as the usual unknown-agent error at the point of use.
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
 /// An arbitrary environment mutation applied at a scheduled time.
 type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
 
@@ -82,7 +91,10 @@ type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
 /// [`LoopAgent`] wraps a [`ModelLoop`]/[`ActuatorLoop`] pair behind this
 /// trait; custom drivers (replay agents, adversarial load generators) can
 /// implement it directly. Environments and drivers must be `'static` so the
-/// runtime can recover concrete agent types after a run via [`Any`].
+/// runtime can recover concrete agent types after a run via [`Any`], and
+/// `Send` so a fleet coordinator can touch any node's runtime directly at an
+/// epoch barrier (drivers are plain data — counters, learned state, RNGs —
+/// so the bound costs implementations nothing).
 ///
 /// # Contract
 ///
@@ -91,7 +103,7 @@ type MutateFn<E> = Box<dyn FnMut(&mut E, Timestamp) + Send>;
 /// * [`step`](Self::step) is invoked whenever the runtime reaches a tick at or
 ///   after `next_wake()`; the driver must check which of its loops are due and
 ///   must eventually advance its wake time, or the simulation cannot progress.
-pub trait AgentDriver<E: Environment>: Any {
+pub trait AgentDriver<E: Environment>: Any + Send {
     /// The earliest virtual time at which this agent needs to run again.
     fn next_wake(&self) -> Timestamp;
     /// Runs the agent's due loops at virtual time `now` against the shared
@@ -168,8 +180,8 @@ where
 impl<E, M, A> AgentDriver<E> for LoopAgent<M, A>
 where
     E: Environment,
-    M: Model + 'static,
-    A: Actuator<Pred = M::Pred> + 'static,
+    M: Model + Send + 'static,
+    A: Actuator<Pred = M::Pred> + Send + 'static,
 {
     fn next_wake(&self) -> Timestamp {
         let model = self.model_loop.next_wake();
@@ -493,8 +505,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
         schedule: Schedule,
     ) -> AgentId
     where
-        M: Model + 'static,
-        A: Actuator<Pred = M::Pred> + 'static,
+        M: Model + Send + 'static,
+        A: Actuator<Pred = M::Pred> + Send + 'static,
     {
         if !self.env_step_overridden {
             let step = schedule

@@ -246,6 +246,138 @@ impl FleetView {
     }
 }
 
+/// A node's first full observation: everything a coordinator needs to seed
+/// its base [`NodeView`] for that node. Shipped once per node (at the first
+/// barrier the node reaches); every later barrier sends a [`NodeDelta`]
+/// against it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeInit {
+    /// Per-agent names and counters, in registration order.
+    pub agents: Vec<AgentTelemetry>,
+    /// Recipe-extracted environment readings.
+    pub telemetry: Vec<(String, f64)>,
+    /// The node's workload placement.
+    pub placement: NodePlacement,
+}
+
+/// The changes in one node's [`NodeView`] between two epoch barriers.
+///
+/// Fleet workers ship deltas instead of full snapshots: the coordinator
+/// holds one persistent base [`FleetView`] and patches it in place, so the
+/// per-barrier cost scales with what *changed* (for a quiet node: nothing)
+/// rather than with the node's agent count and telemetry width. Agent
+/// counters are keyed by registration position and telemetry readings by
+/// emission position — both orders are fixed for the lifetime of a node, so
+/// positions are stable keys and names never need to travel twice.
+///
+/// `diff`/`apply` form a codec: `apply(diff(prev, next), prev) == next` for
+/// any two views of the same node (property-tested across churn sequences in
+/// `tests/tests/delta_views.rs`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeDelta {
+    /// The node's index in the fleet.
+    pub node: usize,
+    /// The full first observation; `Some` replaces the base wholesale
+    /// (also used when a node's agent or telemetry population changed shape,
+    /// which positional patches cannot express).
+    pub init: Option<NodeInit>,
+    /// Changed agent counters, by registration position.
+    pub agents: Vec<(usize, AgentStats)>,
+    /// Changed telemetry readings, by emission position.
+    pub telemetry: Vec<(usize, f64)>,
+    /// The new placement, if it changed.
+    pub placement: Option<NodePlacement>,
+    /// The new lifecycle state, if it changed.
+    pub state: Option<NodeState>,
+}
+
+impl NodeDelta {
+    /// The empty delta for `node`: applying it changes nothing.
+    pub fn empty(node: usize) -> Self {
+        NodeDelta { node, ..NodeDelta::default() }
+    }
+
+    /// Whether applying this delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.init.is_none()
+            && self.agents.is_empty()
+            && self.telemetry.is_empty()
+            && self.placement.is_none()
+            && self.state.is_none()
+    }
+
+    /// The delta turning `prev` into `next`.
+    ///
+    /// Falls back to a full [`NodeInit`] when the agent or telemetry
+    /// populations changed shape (different lengths or names) — positional
+    /// patches only make sense against an identical layout.
+    pub fn diff(prev: &NodeView, next: &NodeView) -> NodeDelta {
+        debug_assert_eq!(prev.node, next.node, "deltas are per-node");
+        let mut delta = NodeDelta::empty(next.node);
+        if next.state != prev.state {
+            delta.state = Some(next.state);
+        }
+        let same_layout = prev.agents.len() == next.agents.len()
+            && prev.agents.iter().zip(&next.agents).all(|(a, b)| a.name == b.name)
+            && prev.telemetry.len() == next.telemetry.len()
+            && prev.telemetry.iter().zip(&next.telemetry).all(|((a, _), (b, _))| a == b);
+        if !same_layout {
+            delta.init = Some(NodeInit {
+                agents: next.agents.clone(),
+                telemetry: next.telemetry.clone(),
+                placement: next.placement.clone(),
+            });
+            return delta;
+        }
+        for (role, (prev_agent, next_agent)) in prev.agents.iter().zip(&next.agents).enumerate() {
+            if prev_agent.stats != next_agent.stats {
+                delta.agents.push((role, next_agent.stats.clone()));
+            }
+        }
+        for (slot, ((_, prev_value), (_, next_value))) in
+            prev.telemetry.iter().zip(&next.telemetry).enumerate()
+        {
+            if prev_value != next_value {
+                delta.telemetry.push((slot, *next_value));
+            }
+        }
+        if prev.placement != next.placement {
+            delta.placement = Some(next.placement.clone());
+        }
+        delta
+    }
+
+    /// Patches `view` in place.
+    ///
+    /// Positions out of range for the view's current layout are ignored —
+    /// they can only arise from applying a delta against the wrong base,
+    /// and dropping them keeps `apply` total.
+    pub fn apply(&self, view: &mut NodeView) {
+        debug_assert_eq!(self.node, view.node, "deltas are per-node");
+        if let Some(init) = &self.init {
+            view.agents = init.agents.clone();
+            view.telemetry = init.telemetry.clone();
+            view.placement = init.placement.clone();
+        }
+        for (role, stats) in &self.agents {
+            if let Some(agent) = view.agents.get_mut(*role) {
+                agent.stats = stats.clone();
+            }
+        }
+        for (slot, value) in &self.telemetry {
+            if let Some((_, reading)) = view.telemetry.get_mut(*slot) {
+                *reading = *value;
+            }
+        }
+        if let Some(placement) = &self.placement {
+            view.placement = placement.clone();
+        }
+        if let Some(state) = self.state {
+            view.state = state;
+        }
+    }
+}
+
 /// One typed placement command issued by a [`FleetController`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetCommand {
@@ -381,6 +513,21 @@ impl PlacementPlan {
 pub trait FleetController: Send {
     /// Returns the placement commands to apply at this boundary.
     fn plan(&mut self, view: &FleetView) -> PlacementPlan;
+
+    /// Whether this controller reads the per-node agent counters and
+    /// telemetry of the [`FleetView`] it is planning against.
+    ///
+    /// Defaults to `true`. A controller that plans from placement and
+    /// lifecycle state alone (or from nothing, like [`NullController`]) can
+    /// return `false`: the fleet runtime then skips extracting agent stats
+    /// and telemetry at every barrier — the dominant per-node fixed cost of
+    /// an idle epoch — and hands [`plan`](Self::plan) views whose per-node
+    /// `agents`/`telemetry` vectors are empty while `now`, `epoch`,
+    /// `placement`, `state`, and `displaced` stay exact. The answer is
+    /// sampled once per run, before the first barrier.
+    fn wants_view(&self) -> bool {
+        true
+    }
 }
 
 /// The do-nothing controller: issues no commands, ever.
@@ -392,6 +539,11 @@ pub struct NullController;
 impl FleetController for NullController {
     fn plan(&mut self, _view: &FleetView) -> PlacementPlan {
         PlacementPlan::new()
+    }
+
+    /// Never looks at the view, so barrier snapshots can be skipped entirely.
+    fn wants_view(&self) -> bool {
+        false
     }
 }
 

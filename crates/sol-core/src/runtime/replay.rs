@@ -118,7 +118,7 @@ impl<E, T> std::fmt::Debug for ReplayDriver<E, T> {
 impl<E, T> AgentDriver<E> for ReplayDriver<E, T>
 where
     E: Environment + 'static,
-    T: 'static,
+    T: Send + 'static,
 {
     fn next_wake(&self) -> Timestamp {
         let due = match self.trace.get(self.cursor) {

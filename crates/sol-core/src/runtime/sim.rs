@@ -53,8 +53,8 @@ where
 
 impl<M, A, E> SimRuntime<M, A, E>
 where
-    M: Model + 'static,
-    A: Actuator<Pred = M::Pred> + 'static,
+    M: Model + Send + 'static,
+    A: Actuator<Pred = M::Pred> + Send + 'static,
     E: Environment + 'static,
 {
     /// Creates a runtime for the given agent halves, schedule, and

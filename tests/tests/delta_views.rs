@@ -1,0 +1,131 @@
+//! The delta-view codec property: `NodeDelta::diff`/`NodeDelta::apply`
+//! must reconstruct any `NodeView` trajectory exactly. The fleet coordinator
+//! relies on this — it holds one persistent base view per node and patches it
+//! from worker deltas, so a codec bug would silently feed controllers stale
+//! or corrupted telemetry. The proptest walks a view through arbitrary churn
+//! (stat bumps, telemetry drift, placement attach/detach, lifecycle flips,
+//! agent/telemetry population reshapes — the moves crash/join/drain
+//! sequences produce) and asserts the delta-reconstructed view equals the
+//! full snapshot at every step.
+
+use proptest::prelude::*;
+use sol_core::prelude::*;
+
+/// Decodes one churn step from a generated `(kind, a, b, value)` tuple and
+/// applies it to the view. The kinds mirror what real runs produce: counter
+/// bumps, telemetry drift, workload attach/detach, lifecycle transitions,
+/// idle barriers, and (rarely) population reshapes — the one move positional
+/// patches cannot express, forcing the full-init fallback.
+fn apply_churn(view: &mut NodeView, step: (u8, usize, u64, f64)) {
+    let (kind, a, b, value) = step;
+    match kind % 10 {
+        // Bump an agent's counters (position modulo the current population).
+        0 | 1 if !view.agents.is_empty() => {
+            let role = a % view.agents.len();
+            let stats = &mut view.agents[role].stats;
+            stats.model.samples_committed += b;
+            stats.actuator.actions_with_model_prediction += b / 2;
+        }
+        // Drift a telemetry reading (position modulo the current width).
+        2 | 3 if !view.telemetry.is_empty() => {
+            let slot = a % view.telemetry.len();
+            view.telemetry[slot].1 = value;
+        }
+        // Attach a fresh workload unit.
+        4 => {
+            view.placement.resident.push(WorkloadUnit {
+                id: WorkloadId(b),
+                cores: value.abs() + 0.5,
+                cpu_bound_fraction: 0.5,
+            });
+        }
+        // Detach the oldest resident unit, if any.
+        5 if !view.placement.resident.is_empty() => {
+            view.placement.resident.remove(0);
+        }
+        // Flip the lifecycle state.
+        6 => {
+            const STATES: [NodeState; 5] = [
+                NodeState::Joining,
+                NodeState::Active,
+                NodeState::Draining,
+                NodeState::Drained,
+                NodeState::Crashed,
+            ];
+            view.state = STATES[a % STATES.len()];
+        }
+        // Reshape the agent population (what a recipe swap would look like).
+        7 => {
+            view.agents = (0..1 + a % 5)
+                .map(|role| AgentTelemetry {
+                    name: format!("agent-{role}"),
+                    stats: AgentStats::default(),
+                })
+                .collect();
+        }
+        // Reshape the telemetry width (also a full-init fallback path).
+        8 => {
+            view.telemetry = (0..a % 5).map(|slot| (format!("reading-{slot}"), 0.0)).collect();
+        }
+        // A quiet barrier: nothing changed.
+        _ => {}
+    }
+}
+
+fn seed_view() -> NodeView {
+    NodeView {
+        node: 3,
+        agents: (0..3)
+            .map(|role| AgentTelemetry {
+                name: format!("agent-{role}"),
+                stats: AgentStats::default(),
+            })
+            .collect(),
+        telemetry: (0..2).map(|slot| (format!("reading-{slot}"), 0.0)).collect(),
+        placement: NodePlacement { capacity: 8.0, resident: Vec::new() },
+        state: NodeState::Active,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `apply(diff(prev, next), prev) == next` along any churn trajectory:
+    /// the delta-maintained mirror never drifts from the full snapshot, and
+    /// a no-op step produces a recognizably empty delta (that emptiness is
+    /// what makes quiet-node barriers nearly free).
+    #[test]
+    fn delta_reconstruction_matches_full_snapshots(
+        steps in prop::collection::vec((0u8..10, 0usize..64, 1u64..100, -100.0f64..100.0), 1..40)
+    ) {
+        let mut truth = seed_view();
+        let mut mirror = truth.clone();
+        for &step in &steps {
+            let prev = truth.clone();
+            apply_churn(&mut truth, step);
+            let delta = NodeDelta::diff(&prev, &truth);
+            delta.apply(&mut mirror);
+            prop_assert_eq!(&mirror, &truth);
+            if prev == truth {
+                prop_assert!(delta.is_empty());
+            }
+        }
+    }
+
+    /// Deltas are minimal on unchanged layouts: diffing two views that only
+    /// moved a single agent's counters patches exactly that position and
+    /// nothing else.
+    #[test]
+    fn single_stat_change_ships_a_single_patch(role in 0usize..3, amount in 1u64..1_000) {
+        let prev = seed_view();
+        let mut next = prev.clone();
+        next.agents[role].stats.model.model_predictions += amount;
+        let delta = NodeDelta::diff(&prev, &next);
+        prop_assert!(delta.init.is_none());
+        prop_assert!(delta.telemetry.is_empty());
+        prop_assert!(delta.placement.is_none());
+        prop_assert!(delta.state.is_none());
+        prop_assert_eq!(delta.agents.len(), 1);
+        prop_assert_eq!(delta.agents[0].0, role);
+    }
+}

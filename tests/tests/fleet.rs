@@ -183,3 +183,63 @@ fn three_agent_fleet_dashboard_is_keyed_by_handles() {
     assert_eq!(violations.nodes, 4);
     assert!(violations.total <= 4.0);
 }
+
+// ---------------------------------------------------------------------------
+// Work-stealing determinism: a forced load imbalance (one node carrying ~8×
+// the agent work of its peers) makes stealing actually fire, and the results
+// must still be a pure function of (recipe, config, horizon).
+// ---------------------------------------------------------------------------
+
+/// Eight identically-named roles on every node — same population, so fleet
+/// aggregation accepts it — but node 0 runs dense schedules while every
+/// other node runs sparse ones. Under static round-robin sharding this
+/// scenario pinned one worker at ~8× its siblings' work; work stealing
+/// rebalances it, and this recipe is the regression net proving the
+/// rebalancing never leaks into results.
+fn imbalanced_recipe() -> ScenarioRecipe<NullEnvironment> {
+    ScenarioRecipe::new(|seed: &NodeSeed| {
+        let mut builder = NodeRuntime::builder(NullEnvironment);
+        let collect_ms = if seed.index() == 0 { 20 } else { 160 };
+        for role in 0..8 {
+            builder.agent(
+                format!("role-{role}"),
+                ToyModel { value: role as f64 },
+                ToyActuator::default(),
+                toy_schedule(collect_ms),
+            );
+        }
+        builder.build()
+    })
+}
+
+/// The work-stealing acceptance bar: with one node 8× heavier than the
+/// rest, the `FleetReport` stays byte-identical across 1, 2, and 8 worker
+/// threads, across repeat runs, and equal to the inline `run_node` fold —
+/// whichever worker ends up advancing a node can never affect what the node
+/// computes.
+#[test]
+fn imbalanced_fleet_reports_are_byte_identical_across_worker_thread_counts() {
+    let horizon = SimDuration::from_secs(5);
+    let config = |threads: usize| FleetConfig {
+        nodes: 6,
+        threads,
+        epoch: SimDuration::from_millis(500),
+        seed: 0xD15B,
+    };
+    let run = |threads: usize| {
+        let fleet = FleetRuntime::new(imbalanced_recipe(), config(threads)).unwrap();
+        format!("{:#?}", fleet.run(horizon).unwrap())
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2-thread imbalanced fleet diverged from single-threaded");
+    assert_eq!(single, run(8), "8-thread imbalanced fleet diverged from single-threaded");
+    assert_eq!(single, run(8), "repeat imbalanced runs must be byte-stable");
+
+    // Every node's fleet entry equals its inline, stealing-free solo run.
+    let fleet = FleetRuntime::new(imbalanced_recipe(), config(3)).unwrap();
+    let report = fleet.run(horizon).unwrap();
+    for index in 0..6 {
+        let solo = fleet.run_node(index, horizon).unwrap();
+        assert_eq!(format!("{:#?}", report.nodes[index]), format!("{solo:#?}"));
+    }
+}

@@ -1,6 +1,8 @@
-//! Offline stand-in for `crossbeam`, covering the channel API the threaded
-//! runtime uses. `std::sync::mpsc` provides the same unbounded MPSC semantics
-//! and an identical `RecvTimeoutError`, so the mapping is direct.
+//! Offline stand-in for `crossbeam`, covering the channel and deque APIs the
+//! threaded runtime uses. `std::sync::mpsc` provides the same unbounded MPSC
+//! semantics and an identical `RecvTimeoutError`, so the channel mapping is
+//! direct; the deque is a mutex-guarded `VecDeque` behind the
+//! `crossbeam-deque` worker/stealer surface.
 
 #![warn(missing_docs)]
 
@@ -13,5 +15,181 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+}
+
+/// Work-stealing deques (crossbeam-deque subset).
+///
+/// A [`Worker`](deque::Worker) owns one end of a deque; any number of
+/// [`Stealer`](deque::Stealer) handles
+/// can take tasks from the other end. The real crate is lock-free; this
+/// stand-in serializes each deque behind a mutex, which preserves the API
+/// and the semantics (every pushed task is claimed exactly once) at the cost
+/// of contention the in-tree workloads never exercise hard — a steal only
+/// happens when a worker's own deque runs dry.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The outcome of one [`Stealer::steal`] attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty at the time of the attempt.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owning end of a work-stealing deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO deque: the owner pops from the same end stealers
+        /// take from, so tasks are claimed in push order.
+        pub fn new_fifo() -> Worker<T> {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Whether the deque was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of tasks in the deque at the time of the call.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Creates a new stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Worker").field("len", &self.len()).finish()
+        }
+    }
+
+    /// A handle that takes tasks from a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.try_lock() {
+                Ok(mut deque) => match deque.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(poison)) => {
+                    match poison.into_inner().pop_front() {
+                        Some(task) => Steal::Success(task),
+                        None => Steal::Empty,
+                    }
+                }
+            }
+        }
+
+        /// Whether the deque was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            match self.inner.try_lock() {
+                Ok(deque) => deque.is_empty(),
+                Err(std::sync::TryLockError::WouldBlock) => false,
+                Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner().is_empty(),
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Stealer").finish_non_exhaustive()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_is_push_order() {
+            let worker = Worker::new_fifo();
+            for task in 0..4 {
+                worker.push(task);
+            }
+            assert_eq!(worker.len(), 4);
+            assert_eq!(worker.pop(), Some(0));
+            let stealer = worker.stealer();
+            assert_eq!(stealer.steal(), Steal::Success(1));
+            assert_eq!(worker.pop(), Some(2));
+            assert_eq!(stealer.steal().success(), Some(3));
+            assert_eq!(stealer.steal(), Steal::Empty);
+            assert!(worker.is_empty() && stealer.is_empty());
+        }
+
+        #[test]
+        fn every_task_is_claimed_exactly_once() {
+            let worker = Worker::new_fifo();
+            for task in 0..1000u32 {
+                worker.push(task);
+            }
+            let stealer = worker.stealer();
+            let thief = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(task) => got.push(task),
+                        Steal::Retry => continue,
+                        Steal::Empty => return got,
+                    }
+                }
+            });
+            let mut mine = Vec::new();
+            while let Some(task) = worker.pop() {
+                mine.push(task);
+            }
+            let stolen = thief.join().unwrap();
+            let mut all: Vec<u32> = mine.into_iter().chain(stolen).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<u32>>());
+        }
     }
 }

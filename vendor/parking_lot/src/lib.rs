@@ -1,54 +1,148 @@
-//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//! Offline stand-in for `parking_lot`.
 //!
 //! Provides `Mutex`/`MutexGuard` and `RwLock` with parking_lot's
-//! non-poisoning API (locking never returns `Result`); a poisoned std lock is
-//! recovered rather than propagated, matching parking_lot's behaviour of not
-//! tracking panics.
+//! non-poisoning API (locking never returns `Result`). The mutex is a
+//! word-sized spin lock with the same shape as parking_lot's fast path: an
+//! uncontended acquire is one inlined compare-and-swap, release is one
+//! store. That matters here — simulation substrates sit behind these locks
+//! and are locked several times per event, always uncontended (the fleet
+//! protocol hands each node to exactly one thread at a time), so lock
+//! overhead is pure per-event tax. Under actual contention the lock spins
+//! briefly and then yields to the scheduler rather than parking, the right
+//! trade for the short critical sections in this codebase.
+//!
+//! `RwLock` stays backed by `std::sync` (poison-recovering): nothing
+//! performance-sensitive uses it.
 
 #![warn(missing_docs)]
 
+use std::cell::UnsafeCell;
 use std::sync;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-/// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 /// RAII guard returned by [`RwLock::read`].
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// RAII guard returned by [`RwLock::write`].
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
-/// A mutex whose `lock` never fails (panics in other holders are absorbed).
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+/// A mutex whose `lock` never fails and whose uncontended acquire is a
+/// single compare-and-swap.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// Exclusive access is enforced by the `locked` flag, so the usual mutex
+// bounds apply: sharing the lock across threads needs `T: Send`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex { locked: AtomicBool::new(false), value: UnsafeCell::new(value) }
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_contended();
+        }
+        MutexGuard { lock: self }
+    }
+
+    /// The slow path: spin briefly (critical sections here are short), then
+    /// yield so a same-core holder can run — the host may be single-core.
+    #[cold]
+    fn lock_contended(&self) {
+        let mut spins = 0u32;
+        loop {
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
         }
     }
 }
 
-/// A reader-writer lock whose acquisitions never fail.
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Sound: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A reader-writer lock whose acquisitions never fail (panics in other
+/// holders are absorbed).
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
@@ -68,5 +162,64 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(0);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_increments_are_not_lost() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn debug_formats_value_or_locked() {
+        let m = Mutex::new(7);
+        assert_eq!(format!("{m:?}"), "Mutex(7)");
+        let guard = m.lock();
+        assert_eq!(format!("{m:?}"), "Mutex(<locked>)");
+        drop(guard);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
     }
 }
