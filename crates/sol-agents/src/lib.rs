@@ -14,6 +14,10 @@
 //!   populations) on one shared
 //!   [`MultiNode`](sol_node_sim::multi_node::MultiNode), assembled through the
 //!   typed [`ScenarioBuilder`](sol_core::runtime::builder::ScenarioBuilder).
+//! * [`poison`] — adversarial learners for the fleet learning plane: a
+//!   [`PoisonedLearner`](poison::PoisonedLearner) wrapper that corrupts
+//!   exported state, seeded victim plans, and the poisoned-overclock fleet
+//!   scenario that demonstrates robust aggregation.
 //!
 //! Each module provides a `Model`/`Actuator` pair, a `*_schedule()` helper
 //! matching the paper's control-loop timing, a `*_blueprint()` package for
@@ -29,6 +33,7 @@ pub mod colocation;
 pub mod harvest;
 pub mod memory;
 pub mod overclock;
+pub mod poison;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -48,5 +53,9 @@ pub mod prelude {
     pub use crate::overclock::{
         blocking_overclock_schedule, overclock_blueprint, overclock_schedule, smart_overclock,
         FrequencyDecision, OverclockActuator, OverclockConfig, OverclockModel,
+    };
+    pub use crate::poison::{
+        poisoned_overclock_recipe, PoisonAttack, PoisonPlan, PoisonedLearner,
+        PoisonedOverclockConfig, PoisonedOverclockRecipe,
     };
 }

@@ -26,6 +26,7 @@ use sol_core::model::{Model, ModelAssessment};
 use sol_core::prediction::Prediction;
 use sol_core::schedule::Schedule;
 use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::exchange::{ExchangeError, LearnedExchange, LearnedState};
 use sol_ml::online_stats::SlidingWindow;
 use sol_ml::qlearning::{QConfig, QLearner};
 use sol_node_sim::counters::CounterSample;
@@ -297,6 +298,14 @@ impl Model for OverclockModel {
         } else {
             ModelAssessment::Healthy
         }
+    }
+
+    fn export_learned(&self) -> Option<LearnedState> {
+        Some(self.learner.export_learned())
+    }
+
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        self.learner.import_learned(state)
     }
 }
 

@@ -1,0 +1,104 @@
+//! Learning-plane aggregation cost: what one fleet-wide exchange round costs
+//! the coordinator, per aggregation rule, at 64 and 256 participating nodes.
+//!
+//! Each participant ships a Q-table shaped like SmartOverclock's (16 states ×
+//! 4 actions); one round folds all of them coordinate-by-coordinate. The
+//! robust rules sort each coordinate's column, so their cost grows
+//! `O(n log n)` in the node count where the mean grows `O(n)` — this table
+//! keeps that premium visible.
+//!
+//! The rows are merged into the committed `BENCH_fleet.json` artifact under
+//! `learning_*` keys. The keys deliberately do not collide with the fleet
+//! scaling rows' `nodes`/`threads`/`wall_ms_per_node_minute` cells, so the
+//! trajectory diff (`compare_fleet_rows`) skips them by construction.
+//!
+//! Quick-mode knobs:
+//! * `SOL_LEARNING_ROUNDS` — timed aggregation rounds per cell (default 200).
+
+use std::time::Instant;
+
+use sol_bench::report::{env_u64, fmt, json_rows, print_table};
+use sol_bench::trajectory::parse_rows;
+use sol_ml::exchange::{AggregationRule, LearnedState, StateKind};
+
+const SCHEMA_VERSION: f64 = 2.0;
+const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+
+/// Deterministic pseudo-table for one node: varied values, no RNG needed.
+fn q_table(node: usize, values: usize) -> LearnedState {
+    let values: Vec<f64> =
+        (0..values).map(|i| ((node * values + i) as f64 * 0.137).sin()).collect();
+    LearnedState::new(StateKind::QTable, vec![16, 4], values).unwrap()
+}
+
+fn main() {
+    let rounds = env_u64("SOL_LEARNING_ROUNDS", 200).max(1);
+    let node_counts = [64usize, 256];
+    let rules = [
+        (0.0, "mean", AggregationRule::Mean),
+        (1.0, "median", AggregationRule::CoordinateWiseMedian),
+        (2.0, "trimmed(k=2)", AggregationRule::TrimmedMean { k: 2 }),
+    ];
+
+    let mut json: Vec<Vec<(&str, f64)>> = Vec::new();
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for &nodes in &node_counts {
+        let states: Vec<LearnedState> = (0..nodes).map(|n| q_table(n, 64)).collect();
+        for (rule_id, label, rule) in &rules {
+            let start = Instant::now();
+            let mut sink = 0.0;
+            for _ in 0..rounds {
+                sink += rule.aggregate(&states).unwrap().values()[0];
+            }
+            let ms_per_round = start.elapsed().as_secs_f64() * 1e3 / rounds as f64;
+            assert!(sink.is_finite());
+            json.push(vec![
+                ("schema_version", SCHEMA_VERSION),
+                ("learning_nodes", nodes as f64),
+                ("learning_rule", *rule_id),
+                ("learning_agg_ms_per_round", ms_per_round),
+            ]);
+            table.push(vec![
+                nodes.to_string(),
+                (*label).to_string(),
+                fmt(ms_per_round),
+                fmt(ms_per_round * 1e3 / nodes as f64),
+            ]);
+        }
+    }
+
+    match merge_into_artifact(&json_rows(&json)) {
+        Ok(total) => {
+            eprintln!("merged {} learning rows into {ARTIFACT} ({total} total)", json.len())
+        }
+        Err(e) => eprintln!("could not update {ARTIFACT}: {e}"),
+    }
+
+    print_table(
+        "Learning plane: one aggregation round over 64-value Q-tables",
+        &["Nodes", "Rule", "Round ms", "µs/node"],
+        &table,
+    );
+}
+
+/// Replaces the artifact's `learning_*` rows with `fresh` (itself a
+/// `json_rows` document), leaving the fleet scaling rows byte-untouched. The
+/// writer emits one row per line, so the merge is line-based — but the result
+/// is still validated with the trajectory parser before it lands.
+fn merge_into_artifact(fresh: &str) -> Result<usize, String> {
+    let existing = match std::fs::read_to_string(ARTIFACT) {
+        Ok(text) => text,
+        Err(_) => "[\n]\n".to_string(),
+    };
+    parse_rows(&existing).map_err(|e| format!("existing artifact is malformed: {e}"))?;
+    let rows: Vec<String> = existing
+        .lines()
+        .filter(|line| line.contains('{') && !line.contains("\"learning_nodes\""))
+        .chain(fresh.lines().filter(|line| line.contains('{')))
+        .map(|line| line.trim_end().trim_end_matches(',').to_string())
+        .collect();
+    let merged = format!("[\n{}\n]\n", rows.join(",\n"));
+    let total = parse_rows(&merged).map_err(|e| format!("merged artifact is malformed: {e}"))?;
+    std::fs::write(ARTIFACT, &merged).map_err(|e| e.to_string())?;
+    Ok(total.len())
+}

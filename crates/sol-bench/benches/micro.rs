@@ -225,8 +225,13 @@ fn barrier_recipe() -> ScenarioRecipe<BinEnvironment> {
 /// adds view collection plus admit/depart command traffic at every boundary.
 fn barrier_overhead(c: &mut Criterion) {
     let horizon = SimDuration::from_secs(10);
-    let config =
-        || FleetConfig { nodes: 8, threads: 2, epoch: SimDuration::from_millis(500), seed: 7 };
+    let config = || FleetConfig {
+        nodes: 8,
+        threads: 2,
+        epoch: SimDuration::from_millis(500),
+        seed: 7,
+        ..FleetConfig::default()
+    };
 
     c.bench_function("barrier_overhead_null_controller_8_nodes_20_epochs", |b| {
         b.iter(|| {

@@ -220,4 +220,41 @@ mod tests {
         let branch = vec![row(8.0, 1.0, 7.0)];
         assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
     }
+
+    /// Rows keyed by foreign fields — like the learning bench's
+    /// `learning_nodes`/`learning_agg_ms_per_round` cells sharing the
+    /// artifact — are invisible to the fleet diff on both sides, no matter
+    /// how wildly their values move.
+    #[test]
+    fn rows_under_new_keys_are_skipped_on_both_sides() {
+        let learning = |ms: f64| {
+            BenchRow::from([
+                ("schema_version".to_string(), Some(2.0)),
+                ("learning_nodes".to_string(), Some(64.0)),
+                ("learning_rule".to_string(), Some(1.0)),
+                ("learning_agg_ms_per_round".to_string(), Some(ms)),
+            ])
+        };
+        let parent = vec![row(8.0, 1.0, 10.0), learning(0.04)];
+        let branch = vec![row(8.0, 1.0, 10.5), learning(400.0)];
+        assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
+    }
+
+    /// A cell disappearing from the branch (shrunk grid) or a row missing
+    /// the per-node field (older schema) is skipped, never a regression.
+    #[test]
+    fn missing_rows_and_missing_fields_are_skipped() {
+        let parent = vec![row(8.0, 1.0, 10.0), row(64.0, 1.0, 10.0)];
+        let branch = vec![row(8.0, 1.0, 10.0)];
+        assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
+
+        let mut no_per_node = row(8.0, 1.0, 999.0);
+        no_per_node.remove("wall_ms_per_node_minute");
+        assert!(compare_fleet_rows(&parent, &[no_per_node], 0.2).is_empty());
+
+        // null (non-finite) per-node cost reads as missing, not as zero.
+        let mut null_per_node = row(8.0, 1.0, 0.0);
+        null_per_node.insert("wall_ms_per_node_minute".to_string(), None);
+        assert!(compare_fleet_rows(&parent, &[null_per_node], 0.2).is_empty());
+    }
 }

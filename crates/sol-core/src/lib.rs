@@ -104,6 +104,7 @@ pub mod prelude {
         FleetAgentReport, FleetConfig, FleetNodeReport, FleetReport, FleetRuntime, MetricSummary,
         NodeSeed, Percentiles, PlacementStats, RoleAggregate,
     };
+    pub use crate::runtime::learning::{LearningPlane, LearningStats};
     pub use crate::runtime::lifecycle::{
         FaultEvent, FaultPlan, FaultPlanConfig, LifecycleError, LifecycleEvent, NodeRecord,
         NodeRegistry, NodeState,

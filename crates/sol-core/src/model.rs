@@ -7,6 +7,8 @@
 //! per-sample validation, periodic accuracy assessment, and a safe default
 //! prediction.
 
+use sol_ml::exchange::{ExchangeError, LearnedState};
+
 use crate::error::DataError;
 use crate::prediction::Prediction;
 use crate::time::Timestamp;
@@ -150,6 +152,29 @@ pub trait Model: Send {
     /// checks this after every committed sample.
     fn request_default(&self) -> bool {
         false
+    }
+
+    /// Optional learning-plane hook: a snapshot of the model's learned
+    /// parameters for fleet-wide exchange. Models that return `None` (the
+    /// default) do not participate in learning rounds.
+    fn export_learned(&self) -> Option<LearnedState> {
+        None
+    }
+
+    /// Optional learning-plane hook: overwrites the model's learned
+    /// parameters with a (blended) fleet aggregate. Implementations must
+    /// validate kind and shape and leave the model unchanged on error; they
+    /// must not touch RNG streams or counters, so local decision sequences
+    /// stay deterministic modulo the imported values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ExchangeError`] of the underlying learner when `state`
+    /// is incompatible; the default implementation accepts nothing
+    /// ([`ExchangeError::Unsupported`]).
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        let _ = state;
+        Err(ExchangeError::Unsupported)
     }
 }
 

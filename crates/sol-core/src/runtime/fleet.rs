@@ -42,6 +42,14 @@
 //! [`FaultPlan`] injects the same events without controller cooperation via
 //! [`FleetRuntime::run_with_faults`].
 //!
+//! The barrier is also the fleet's model-exchange point: with a
+//! [`LearningPlane`] configured ([`FleetConfig::learning`]), nodes piggyback
+//! changed [`LearnedState`] snapshots of their learners on the `EpochDone`
+//! they already send (quiet learners ship nothing, like quiet
+//! [`NodeDelta`]s), and the coordinator robustly aggregates and
+//! redistributes them between the lifecycle and placement phases — see the
+//! [`learning`](crate::runtime::learning) module.
+//!
 //! # Determinism
 //!
 //! A fleet run is a pure function of `(recipe, FleetConfig, horizon)`:
@@ -122,8 +130,11 @@ use std::thread;
 use crossbeam::channel::{self, Receiver, Sender};
 use crossbeam::deque::{Steal, Stealer, Worker as TaskQueue};
 
+use sol_ml::exchange::LearnedState;
+
 use crate::error::{ReportError, RuntimeError};
 use crate::runtime::builder::ScenarioRecipe;
+use crate::runtime::learning::{LearningExchange, LearningPlane, LearningStats, NodeLearnedExport};
 use crate::runtime::lifecycle::{FaultPlan, LifecycleEvent, NodeRecord, NodeRegistry, NodeState};
 use crate::runtime::node::{AgentId, NodeRuntime};
 use crate::runtime::placement::{
@@ -208,8 +219,9 @@ impl NodeSeed {
 }
 
 /// Shape of a fleet run: how many nodes, how many worker threads, the epoch
-/// synchronization quantum of the shared virtual clock, and the master seed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// synchronization quantum of the shared virtual clock, the master seed, and
+/// the optional learning plane.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of simulated servers stamped out from the recipe.
     pub nodes: usize,
@@ -221,11 +233,22 @@ pub struct FleetConfig {
     pub epoch: SimDuration,
     /// Master seed; per-node seeds are derived via [`NodeSeed::derive`].
     pub seed: u64,
+    /// Optional learning plane: when set, the coordinator periodically
+    /// aggregates the nodes' exported [`LearnedState`]s and redistributes
+    /// the blend — see the [`learning`](crate::runtime::learning) module.
+    /// `None` (the default) runs the fleet with no model exchange.
+    pub learning: Option<LearningPlane>,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { nodes: 8, threads: 4, epoch: SimDuration::from_secs(1), seed: 0x501_f1ee7 }
+        FleetConfig {
+            nodes: 8,
+            threads: 4,
+            epoch: SimDuration::from_secs(1),
+            seed: 0x501_f1ee7,
+            learning: None,
+        }
     }
 }
 
@@ -424,6 +447,9 @@ pub struct FleetReport {
     /// Placement outcomes (all-zero for a [`NullController`] run over
     /// capacity-free environments).
     pub placement: PlacementStats,
+    /// Learning-plane outcomes (all-zero when [`FleetConfig::learning`] is
+    /// `None`).
+    pub learning: LearningStats,
     /// The virtual time at which the fleet stopped (identical on every node).
     pub ended_at: Timestamp,
     /// Number of epoch-boundary synchronizations the run performed (the
@@ -469,8 +495,15 @@ type NodeTask<E> = Arc<NodeSlot<E>>;
 enum WorkerMsg {
     /// Every task of the current epoch this worker executed (claimed from
     /// its own deque or stolen) reached the boundary; carries the deltas of
-    /// the nodes whose observable state changed.
-    EpochDone(Vec<NodeDelta>),
+    /// the nodes whose observable state changed, plus — on exchange rounds —
+    /// the learned states that changed since the nodes' last exports.
+    EpochDone {
+        /// Observation deltas of the changed nodes.
+        deltas: Vec<NodeDelta>,
+        /// Learning-plane exports (empty unless the epoch's `learn` flag was
+        /// set and some node had changed learned state).
+        exports: Vec<NodeLearnedExport>,
+    },
     /// Final per-node outcomes (sent once, in response to `Finish`).
     Finished(Vec<FleetNodeReport>),
 }
@@ -489,6 +522,9 @@ enum CoordMsg<E: Environment + 'static> {
         boundary: Timestamp,
         /// Whether the controller reads agent stats and telemetry.
         collect: bool,
+        /// Whether this barrier is a learning-plane exchange round (nodes
+        /// piggyback changed learned state on their `EpochDone`).
+        learn: bool,
         /// This worker's share of the epoch's tasks.
         tasks: Vec<NodeTask<E>>,
     },
@@ -525,7 +561,8 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] if `nodes` or `threads` is
-    /// zero, or if `epoch` is zero.
+    /// zero, if `epoch` is zero, or if the learning plane is degenerate
+    /// (`exchange_every` of zero, or a blend weight outside `[0, 1]`).
     pub fn new(recipe: ScenarioRecipe<E>, config: FleetConfig) -> Result<Self, RuntimeError> {
         if config.nodes == 0 {
             return Err(RuntimeError::InvalidConfig(
@@ -539,6 +576,9 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         }
         if config.epoch.is_zero() {
             return Err(RuntimeError::InvalidConfig("fleet config: epoch must be non-zero".into()));
+        }
+        if let Some(plane) = &config.learning {
+            plane.validate().map_err(|e| RuntimeError::InvalidConfig(format!("fleet {e}")))?;
         }
         // The recipe is shared by reference from here on: worker threads and
         // per-node runs borrow the same allocation instead of cloning the
@@ -653,6 +693,10 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         // Sampled once per run: whether barriers must extract agent stats
         // and telemetry at all.
         let collect = controller.wants_view();
+        // The learning plane's coordinator half: the per-node learned-state
+        // mirror, the latest per-role aggregates, and the run's counters.
+        let mut exchange =
+            self.config.learning.map(|plane| LearningExchange::new(plane, self.config.nodes));
 
         // The slot arena: one persistent, mutex-guarded slot per node index,
         // shared between the coordinator and whichever worker claims the
@@ -729,6 +773,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         'protocol: {
             for (k, &boundary) in boundaries.iter().enumerate() {
                 let epoch = k as u64;
+                let learn = exchange.as_ref().is_some_and(|e| e.plane().is_learn_epoch(epoch));
                 // Round-robin over live nodes as the initial assignment;
                 // stealing rebalances whatever this gets wrong.
                 let mut tasks: Vec<Vec<NodeTask<E>>> = (0..threads).map(|_| Vec::new()).collect();
@@ -739,18 +784,21 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     tasks[position % threads].push(Arc::clone(&arena[index]));
                 }
                 for ((cmd_tx, _), batch) in links.iter().zip(tasks) {
-                    if cmd_tx.send(CoordMsg::Epoch { boundary, collect, tasks: batch }).is_err() {
+                    let msg = CoordMsg::Epoch { boundary, collect, learn, tasks: batch };
+                    if cmd_tx.send(msg).is_err() {
                         error = Some(died());
                         break 'protocol;
                     }
                 }
                 let mut barrier_failed = false;
+                let mut barrier_exports: Vec<NodeLearnedExport> = Vec::new();
                 for (_, done_rx) in &links {
                     match done_rx.recv() {
-                        Ok(WorkerMsg::EpochDone(deltas)) => {
+                        Ok(WorkerMsg::EpochDone { deltas, exports }) => {
                             for delta in deltas {
                                 delta.apply(&mut base.nodes[delta.node]);
                             }
+                            barrier_exports.extend(exports);
                         }
                         _ => {
                             barrier_failed = true;
@@ -760,6 +808,14 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                 if barrier_failed {
                     error = Some(died());
                     break 'protocol;
+                }
+                if learn {
+                    if let Some(exchange) = exchange.as_mut() {
+                        // Patch the learned-state mirror before lifecycle
+                        // events retire anyone: the exports describe the
+                        // boundary every node just reached.
+                        exchange.absorb(barrier_exports);
+                    }
                 }
 
                 // Registry bookkeeping from the fresh observations, before
@@ -819,6 +875,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                 // of issue order.
                 let mut retiring: Vec<usize> = drain_retires;
                 let mut crash_retires: Vec<usize> = Vec::new();
+                let mut joined: Vec<usize> = Vec::new();
                 for event in lifecycle_events {
                     let outcome = match event {
                         LifecycleEvent::Crash { node } => {
@@ -843,6 +900,7 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                                 placement: NodePlacement::none(),
                                 state: NodeState::Joining,
                             });
+                            joined.push(index);
                             Ok(())
                         }
                     };
@@ -852,11 +910,21 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                     }
                 }
                 occupancy_sums.resize(registry.len(), 0.0);
+                if let Some(exchange) = exchange.as_mut() {
+                    exchange.grow(registry.len());
+                }
 
                 retiring.sort_unstable();
                 for &node in &retiring {
                     let (report, residents) = arena[node].retire(&self.recipe);
                     early_reports.push(report);
+                    if let Some(exchange) = exchange.as_mut() {
+                        // Retired nodes stop contributing to aggregates from
+                        // this barrier on: a crashed node's final export was
+                        // absorbed above, and dropping its row here removes
+                        // it before this barrier's exchange round folds.
+                        exchange.forget(node);
+                    }
                     // Tombstone the base entry; its state stamp comes off
                     // the registry at the next barrier, like every node's.
                     let view = &mut base.nodes[node];
@@ -878,6 +946,80 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                             residents.len()
                         )));
                         break 'protocol;
+                    }
+                }
+
+                // Learning phase, between lifecycle and placement: on
+                // exchange rounds, fold the live nodes' mirrored states into
+                // per-role aggregates and import the blended aggregate back
+                // into every live node. Everything runs coordinator-side,
+                // keyed by node index in ascending order, so the learning
+                // plane inherits the thread-count determinism of the rest of
+                // the barrier. Nodes that joined at this barrier warm-start
+                // from the latest aggregates (whether or not this barrier
+                // was an exchange round) instead of learning from scratch.
+                if let Some(exchange) = exchange.as_mut() {
+                    if learn {
+                        let live: Vec<usize> = (0..registry.len())
+                            .filter(|&index| registry.records()[index].state.is_live())
+                            .collect();
+                        exchange.round(&live);
+                        let blend = exchange.plane().blend;
+                        let aggregates: Vec<Option<LearnedState>> = exchange.aggregates().to_vec();
+                        for &node in &live {
+                            for (slot, aggregate) in aggregates.iter().enumerate() {
+                                let Some(aggregate) = aggregate else { continue };
+                                // A node whose state was rejected from the
+                                // round (or that never exported this slot)
+                                // keeps its local state untouched.
+                                let Some(local) = exchange.local(node, slot) else { continue };
+                                if local.compatible_with(aggregate).is_err() {
+                                    continue;
+                                }
+                                let Ok(blended) = blend.blend(local, aggregate) else {
+                                    exchange.record_rejected();
+                                    continue;
+                                };
+                                if blended == *local {
+                                    // Nothing to ship — the common case for
+                                    // `Replace` on a converged (or one-node)
+                                    // fleet, and what keeps a learning fleet
+                                    // of one byte-identical to `run_node`.
+                                    continue;
+                                }
+                                let imported = arena[node]
+                                    .with_live(|shard| shard.import_learned(slot, &blended))
+                                    .unwrap_or(false);
+                                if imported {
+                                    exchange.record_import(node, slot, blended);
+                                } else {
+                                    exchange.record_rejected();
+                                }
+                            }
+                        }
+                    }
+                    for &node in &joined {
+                        let aggregates: Vec<Option<LearnedState>> = exchange.aggregates().to_vec();
+                        let mut warmed = false;
+                        for (slot, aggregate) in aggregates.iter().enumerate() {
+                            let Some(aggregate) = aggregate else { continue };
+                            // Stamping here is byte-identical to the lazy
+                            // stamp a worker would perform at the node's
+                            // first epoch — it is a pure function of the
+                            // recipe and the slot's seed.
+                            let imported = arena[node]
+                                .with_stamped(&self.recipe, |shard| {
+                                    shard.import_learned(slot, aggregate)
+                                })
+                                .unwrap_or(false);
+                            if imported {
+                                exchange.record_import(node, slot, aggregate.clone());
+                                warmed = true;
+                            }
+                        }
+                        if warmed {
+                            exchange.record_warm_start();
+                        }
                     }
                 }
 
@@ -1116,7 +1258,8 @@ impl<E: Environment + 'static> FleetRuntime<E> {
             node.lifecycle = registry.records()[node.node];
         }
         let ended_at = *boundaries.last().expect("non-empty epoch grid");
-        aggregate(nodes, boundaries.len() as u64, placement, ended_at)
+        let learning = exchange.map(|e| e.stats()).unwrap_or_default();
+        aggregate(nodes, boundaries.len() as u64, placement, learning, ended_at)
     }
 
     /// Runs the fleet under a [`FleetController`] while a seeded
@@ -1153,6 +1296,14 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// entry of a full fleet run. Useful for debugging one server of a large
     /// fleet and for testing that fleet aggregation is exactly the fold of
     /// per-node reports.
+    ///
+    /// A configured [`FleetConfig::learning`] plane is coordinator-driven
+    /// and has no single-node equivalent: `run_node` never exchanges state,
+    /// so its report matches the fleet entry only when no exchange round
+    /// actually changed the node's models (e.g. a fleet of one under
+    /// [`BlendPolicy::Replace`](sol_ml::exchange::BlendPolicy::Replace),
+    /// where the aggregate always equals the local state and redistribution
+    /// is skipped).
     ///
     /// [`run`]: Self::run
     ///
@@ -1233,6 +1384,10 @@ struct ShardNode<E: Environment + 'static> {
     telemetry_base: Vec<f64>,
     /// Whether a first full observation has been shipped yet.
     observed: bool,
+    /// Learned states as of the last learning-plane export (or coordinator
+    /// import), indexed by agent slot; the exchange-round diff baseline.
+    /// Empty until the first exchange round touches the node.
+    learned_base: Vec<Option<LearnedState>>,
 }
 
 impl<E: Environment + 'static> ShardNode<E> {
@@ -1246,6 +1401,7 @@ impl<E: Environment + 'static> ShardNode<E> {
             stats_base: Vec::new(),
             telemetry_base: Vec::new(),
             observed: false,
+            learned_base: Vec::new(),
         }
     }
 
@@ -1323,6 +1479,48 @@ impl<E: Environment + 'static> ShardNode<E> {
         }
         init
     }
+
+    /// The learning-plane export for this barrier: every agent's learned
+    /// state that changed since the node's last export (the first exchange
+    /// round ships every exportable state). `None` when nothing changed —
+    /// the quiet-learner case, costing the coordinator nothing, exactly
+    /// like an unchanged [`observe`](Self::observe).
+    fn export_learned(&mut self) -> Option<NodeLearnedExport> {
+        let snapshots = self.runtime.learned_snapshots();
+        self.learned_base.resize(snapshots.len(), None);
+        let mut states = Vec::new();
+        for (slot, snapshot) in snapshots.into_iter().enumerate() {
+            let Some(state) = snapshot else { continue };
+            if self.learned_base[slot].as_ref() == Some(&state) {
+                continue;
+            }
+            self.learned_base[slot] = Some(state.clone());
+            states.push((slot, state));
+        }
+        if states.is_empty() {
+            None
+        } else {
+            Some(NodeLearnedExport { node: self.seed.index() as usize, states })
+        }
+    }
+
+    /// Imports a (blended) fleet aggregate into agent `slot`'s model,
+    /// refreshing the export baseline so the next exchange round does not
+    /// re-ship what the coordinator already knows. Returns whether the
+    /// model accepted the state.
+    fn import_learned(&mut self, slot: usize, state: &LearnedState) -> bool {
+        if slot >= self.runtime.agent_count() {
+            return false;
+        }
+        if self.runtime.driver_mut(AgentId::from(slot)).import_learned(state).is_err() {
+            return false;
+        }
+        if self.learned_base.len() <= slot {
+            self.learned_base.resize(slot + 1, None);
+        }
+        self.learned_base[slot] = Some(state.clone());
+        true
+    }
 }
 
 /// A node's lifetime inside its arena slot: recipe-stampable, stamped, or
@@ -1358,22 +1556,26 @@ impl<E: Environment + 'static> NodeSlot<E> {
     }
 
     /// Stamps the node if needed, advances it to the epoch boundary, and
-    /// returns its barrier observation delta (None for an unchanged node or
-    /// a retired slot).
+    /// returns its barrier observation delta plus — when `learn` marks an
+    /// exchange round — its learning-plane export (both `None` for an
+    /// unchanged node or a retired slot).
     fn advance(
         &self,
         recipe: &ScenarioRecipe<E>,
         boundary: Timestamp,
         collect: bool,
-    ) -> Option<NodeDelta> {
+        learn: bool,
+    ) -> (Option<NodeDelta>, Option<NodeLearnedExport>) {
         let mut guard = self.lock();
         if let Slot::Vacant { seed, start } = *guard {
             *guard = Slot::Live(ShardNode::stamp(recipe, seed, start));
         }
-        let Slot::Live(node) = &mut *guard else { return None };
+        let Slot::Live(node) = &mut *guard else { return (None, None) };
         let until = node.local(boundary);
         node.runtime.run_until(until);
-        node.observe(recipe, collect)
+        let delta = node.observe(recipe, collect);
+        let export = if learn { node.export_learned() } else { None };
+        (delta, export)
     }
 
     /// Finishes the node and takes its report, leaving the slot `Retired`.
@@ -1420,6 +1622,27 @@ impl<E: Environment + 'static> NodeSlot<E> {
             _ => None,
         }
     }
+
+    /// Stamps the node if still vacant, then runs `f` on it (`None` only
+    /// for a retired slot). The learning plane's join warm-start goes
+    /// through this: importing the fleet aggregate needs a live runtime,
+    /// and stamping is a pure function of the recipe and the slot's seed,
+    /// so stamping here is byte-identical to the lazy stamp the first
+    /// advancing worker would otherwise perform.
+    fn with_stamped<R>(
+        &self,
+        recipe: &ScenarioRecipe<E>,
+        f: impl FnOnce(&mut ShardNode<E>) -> R,
+    ) -> Option<R> {
+        let mut guard = self.lock();
+        if let Slot::Vacant { seed, start } = *guard {
+            *guard = Slot::Live(ShardNode::stamp(recipe, seed, start));
+        }
+        match &mut *guard {
+            Slot::Live(node) => Some(f(node)),
+            _ => None,
+        }
+    }
 }
 
 /// Claims the next task: the worker's own queue first (FIFO, preserving the
@@ -1461,17 +1684,22 @@ fn worker<E: Environment + Send + 'static>(
 ) {
     loop {
         match cmd_rx.recv() {
-            Ok(CoordMsg::Epoch { boundary, collect, tasks }) => {
+            Ok(CoordMsg::Epoch { boundary, collect, learn, tasks }) => {
                 for task in tasks {
                     queue.push(task);
                 }
                 let mut deltas = Vec::new();
+                let mut exports = Vec::new();
                 while let Some(slot) = claim(&queue, &stealers) {
-                    if let Some(delta) = slot.advance(&recipe, boundary, collect) {
+                    let (delta, export) = slot.advance(&recipe, boundary, collect, learn);
+                    if let Some(delta) = delta {
                         deltas.push(delta);
                     }
+                    if let Some(export) = export {
+                        exports.push(export);
+                    }
                 }
-                if done_tx.send(WorkerMsg::EpochDone(deltas)).is_err() {
+                if done_tx.send(WorkerMsg::EpochDone { deltas, exports }).is_err() {
                     return;
                 }
             }
@@ -1534,6 +1762,7 @@ fn aggregate(
     nodes: Vec<FleetNodeReport>,
     epochs: u64,
     placement: PlacementStats,
+    learning: LearningStats,
     ended_at: Timestamp,
 ) -> Result<FleetReport, RuntimeError> {
     let first = &nodes[0];
@@ -1627,7 +1856,7 @@ fn aggregate(
         })
         .collect();
 
-    Ok(FleetReport { nodes, roles, metrics, placement, ended_at, epochs })
+    Ok(FleetReport { nodes, roles, metrics, placement, learning, ended_at, epochs })
 }
 
 #[cfg(test)]

@@ -1,0 +1,436 @@
+//! The fleet learning plane: exchange, robust aggregation, and
+//! redistribution of learned state across node churn.
+//!
+//! SOL's agents learn on-node, but a fleet of thousands of nodes learns the
+//! same task thousands of times over. The learning plane turns the fleet's
+//! epoch barrier into a periodic model-exchange point: nodes piggyback
+//! [`LearnedState`] snapshots of their learners on the barrier observations
+//! they already ship (quiet learners ship nothing, exactly like
+//! [`NodeDelta`](crate::runtime::placement::NodeDelta)s), the coordinator
+//! folds the per-role states with a robust [`AggregationRule`] —
+//! coordinate-wise median and trimmed mean tolerate a bounded number of
+//! poisoned or faulty contributions, where a plain mean does not — and
+//! redistributes the aggregate under a [`BlendPolicy`]. Nodes
+//! that [`Join`](crate::runtime::lifecycle::LifecycleEvent::Join) mid-run
+//! warm-start from the latest aggregate instead of learning from scratch.
+//!
+//! Everything here is keyed by node index and applied coordinator-side in
+//! index order, so fleet reports stay byte-identical across worker-thread
+//! counts — the determinism contract of
+//! [`FleetRuntime`](crate::runtime::fleet::FleetRuntime) extends to the
+//! learning plane unchanged.
+
+use serde::Serialize;
+use sol_ml::exchange::{AggregationRule, BlendPolicy, LearnedState};
+
+/// Configuration of the fleet learning plane
+/// ([`FleetConfig::learning`](crate::runtime::fleet::FleetConfig::learning)).
+///
+/// # Examples
+///
+/// ```
+/// use sol_core::prelude::*;
+/// use sol_ml::exchange::{AggregationRule, BlendPolicy};
+///
+/// let plane = LearningPlane {
+///     exchange_every: 4,
+///     rule: AggregationRule::TrimmedMean { k: 1 },
+///     blend: BlendPolicy::Mix { weight: 0.5 },
+/// };
+/// let config = FleetConfig { learning: Some(plane), ..FleetConfig::default() };
+/// assert_eq!(config.learning.unwrap().exchange_every, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LearningPlane {
+    /// Run an exchange round every this-many epoch barriers (1 = every
+    /// barrier). Must be at least 1.
+    pub exchange_every: u64,
+    /// How the coordinator folds per-node states into the fleet aggregate.
+    /// The robust rules (`CoordinateWiseMedian`, `TrimmedMean`) tolerate a
+    /// bounded number of arbitrarily corrupted contributions.
+    pub rule: AggregationRule,
+    /// How each node adopts the aggregate: replace its local state outright
+    /// or mix convexly.
+    pub blend: BlendPolicy,
+}
+
+impl Default for LearningPlane {
+    /// Exchange at every barrier, aggregate by coordinate-wise median (the
+    /// safe default: robust to a minority of corrupted nodes), replace local
+    /// state with the aggregate.
+    fn default() -> Self {
+        LearningPlane {
+            exchange_every: 1,
+            rule: AggregationRule::CoordinateWiseMedian,
+            blend: BlendPolicy::Replace,
+        }
+    }
+}
+
+impl LearningPlane {
+    /// Validates the plane, returning a human-readable complaint for the
+    /// fleet config error path.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.exchange_every == 0 {
+            return Err("learning plane: exchange_every must be at least 1".into());
+        }
+        if let BlendPolicy::Mix { weight } = self.blend {
+            if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+                return Err(format!(
+                    "learning plane: blend weight must be a finite value in [0, 1], got {weight}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the barrier at 0-based epoch index `epoch` is an exchange
+    /// round (the `exchange_every`-th, counting from the first barrier).
+    pub(crate) fn is_learn_epoch(&self, epoch: u64) -> bool {
+        (epoch + 1).is_multiple_of(self.exchange_every)
+    }
+}
+
+/// Counters of one fleet run's learning-plane activity
+/// ([`FleetReport::learning`](crate::runtime::fleet::FleetReport::learning)).
+/// All-zero when the fleet ran without a [`LearningPlane`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct LearningStats {
+    /// Exchange rounds the coordinator ran.
+    pub rounds: u64,
+    /// Node exports absorbed across all rounds (a node that shipped at least
+    /// one changed state counts once per round).
+    pub participants: u64,
+    /// Total payload exchanged, in bytes of `f64` values, counting both
+    /// directions (node exports absorbed plus aggregates redistributed).
+    pub bytes_exchanged: u64,
+    /// States excluded from aggregation or redistribution because their kind
+    /// or shape disagreed with the role's reference state, plus imports the
+    /// receiving model refused.
+    pub rejected: u64,
+    /// Blended aggregates imported back into running nodes (one per agent
+    /// slot per node per round; unchanged blends are skipped and not
+    /// counted).
+    pub redistributed: u64,
+    /// Nodes that joined mid-run and were seeded from the fleet aggregate
+    /// instead of learning from scratch.
+    pub warm_starts: u64,
+}
+
+impl LearningStats {
+    /// Adds another run's counters onto this one, field by field (used by
+    /// callers comparing or pooling runs). The exhaustive destructuring (no
+    /// `..`) makes adding a field without accumulating it a compile error.
+    pub fn accumulate(&mut self, other: &LearningStats) {
+        let LearningStats {
+            rounds,
+            participants,
+            bytes_exchanged,
+            rejected,
+            redistributed,
+            warm_starts,
+        } = other;
+        self.rounds += rounds;
+        self.participants += participants;
+        self.bytes_exchanged += bytes_exchanged;
+        self.rejected += rejected;
+        self.redistributed += redistributed;
+        self.warm_starts += warm_starts;
+    }
+}
+
+/// One node's learning-plane payload for a barrier: the learned states that
+/// changed since the node's last export, keyed by agent slot (registration
+/// order). Piggybacks on the worker's `EpochDone` message.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeLearnedExport {
+    /// The exporting node's fleet index.
+    pub(crate) node: usize,
+    /// `(agent slot, state)` pairs, in slot order. Never empty — a node with
+    /// nothing new ships no export at all.
+    pub(crate) states: Vec<(usize, LearnedState)>,
+}
+
+/// The coordinator's half of the learning plane: a per-node mirror of the
+/// last known learned states (patched from exports, exactly like the
+/// placement base view is patched from `NodeDelta`s), the latest per-slot
+/// fleet aggregates (kept for warm-starting joiners between rounds), and the
+/// run's cumulative [`LearningStats`].
+///
+/// All methods are deterministic functions of their inputs; callers must
+/// feed them node indices in ascending order where order matters (`round`
+/// and the redistribution loop do), which the fleet coordinator guarantees
+/// by iterating the registry in index order.
+pub(crate) struct LearningExchange {
+    plane: LearningPlane,
+    /// `mirror[node][slot]` is the last state node `node`'s agent `slot`
+    /// exported (or had imported), `None` before its first export. Retired
+    /// nodes' rows are cleared so they stop contributing to aggregates.
+    mirror: Vec<Vec<Option<LearnedState>>>,
+    /// Latest per-slot aggregates, refreshed by [`round`](Self::round).
+    aggregates: Vec<Option<LearnedState>>,
+    stats: LearningStats,
+}
+
+impl LearningExchange {
+    pub(crate) fn new(plane: LearningPlane, nodes: usize) -> Self {
+        LearningExchange {
+            plane,
+            mirror: vec![Vec::new(); nodes],
+            aggregates: Vec::new(),
+            stats: LearningStats::default(),
+        }
+    }
+
+    pub(crate) fn plane(&self) -> &LearningPlane {
+        &self.plane
+    }
+
+    /// Grows the mirror to `nodes` rows (joined nodes extend the fleet; the
+    /// mirror must extend with it before their first export).
+    pub(crate) fn grow(&mut self, nodes: usize) {
+        if nodes > self.mirror.len() {
+            self.mirror.resize(nodes, Vec::new());
+        }
+    }
+
+    /// Clears a retired node's mirror row: crashed and drained nodes stop
+    /// contributing to aggregates from the barrier they retire at.
+    pub(crate) fn forget(&mut self, node: usize) {
+        if let Some(row) = self.mirror.get_mut(node) {
+            row.clear();
+        }
+    }
+
+    /// Absorbs a barrier's exports into the mirror. Exports are keyed by
+    /// node index, so arrival order (which depends on worker scheduling)
+    /// never affects the result; the sort below is only so `participants`
+    /// and `bytes_exchanged` grow in a canonical order for debugging.
+    pub(crate) fn absorb(&mut self, mut exports: Vec<NodeLearnedExport>) {
+        exports.sort_by_key(|export| export.node);
+        for export in exports {
+            debug_assert!(!export.states.is_empty(), "quiet nodes ship no export");
+            self.stats.participants += 1;
+            let row = &mut self.mirror[export.node];
+            for (slot, state) in export.states {
+                if row.len() <= slot {
+                    row.resize(slot + 1, None);
+                }
+                self.stats.bytes_exchanged += state.byte_len() as u64;
+                row[slot] = Some(state);
+            }
+        }
+    }
+
+    /// Runs one exchange round: folds the mirrored states of `live` (node
+    /// indices in ascending order) into per-slot aggregates under the
+    /// plane's rule. The first live node holding a state for a slot is that
+    /// slot's reference; states of other nodes that disagree with it in kind
+    /// or shape are excluded and counted as rejected. Slots nobody exported
+    /// aggregate to `None`.
+    pub(crate) fn round(&mut self, live: &[usize]) {
+        self.stats.rounds += 1;
+        let slots = live.iter().map(|&node| self.mirror[node].len()).max().unwrap_or(0);
+        let mut aggregates: Vec<Option<LearnedState>> = Vec::with_capacity(slots);
+        for slot in 0..slots {
+            let mut column: Vec<&LearnedState> = Vec::with_capacity(live.len());
+            for &node in live {
+                let Some(state) = self.mirror[node].get(slot).and_then(Option::as_ref) else {
+                    continue;
+                };
+                match column.first() {
+                    Some(reference) if reference.compatible_with(state).is_err() => {
+                        self.stats.rejected += 1;
+                    }
+                    _ => column.push(state),
+                }
+            }
+            let column: Vec<LearnedState> = column.into_iter().cloned().collect();
+            // A fold of finite states can still overflow to infinity (e.g. a
+            // mean of huge poisoned values); such a round yields no aggregate
+            // for the slot rather than poisoning every node with it.
+            aggregates.push(self.plane.rule.aggregate(&column).ok());
+        }
+        self.aggregates = aggregates;
+    }
+
+    /// The latest per-slot aggregates (empty before the first round).
+    pub(crate) fn aggregates(&self) -> &[Option<LearnedState>] {
+        &self.aggregates
+    }
+
+    /// The mirrored local state of `(node, slot)`, if any.
+    pub(crate) fn local(&self, node: usize, slot: usize) -> Option<&LearnedState> {
+        self.mirror.get(node)?.get(slot)?.as_ref()
+    }
+
+    /// Records a successful import of a blended aggregate into a running
+    /// node, updating the mirror so the next diff baselines against what the
+    /// node now actually holds.
+    pub(crate) fn record_import(&mut self, node: usize, slot: usize, state: LearnedState) {
+        self.stats.redistributed += 1;
+        self.stats.bytes_exchanged += state.byte_len() as u64;
+        let row = &mut self.mirror[node];
+        if row.len() <= slot {
+            row.resize(slot + 1, None);
+        }
+        row[slot] = Some(state);
+    }
+
+    /// Records an import the receiving model refused (or a blend that could
+    /// not be formed): the state is dropped, loudly.
+    pub(crate) fn record_rejected(&mut self) {
+        self.stats.rejected += 1;
+    }
+
+    /// Records one warm-started joiner (counted per node, however many of
+    /// its agent slots imported an aggregate).
+    pub(crate) fn record_warm_start(&mut self) {
+        self.stats.warm_starts += 1;
+    }
+
+    /// The run's cumulative counters.
+    pub(crate) fn stats(&self) -> LearningStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sol_ml::exchange::StateKind;
+
+    fn state(values: &[f64]) -> LearnedState {
+        LearnedState::new(StateKind::LinearWeights, vec![values.len()], values.to_vec()).unwrap()
+    }
+
+    fn export(node: usize, slot: usize, values: &[f64]) -> NodeLearnedExport {
+        NodeLearnedExport { node, states: vec![(slot, state(values))] }
+    }
+
+    #[test]
+    fn plane_validation_rejects_degenerate_configs() {
+        assert!(LearningPlane::default().validate().is_ok());
+        let zero = LearningPlane { exchange_every: 0, ..LearningPlane::default() };
+        assert!(zero.validate().unwrap_err().contains("exchange_every"));
+        for weight in [f64::NAN, -0.1, 1.5] {
+            let mix =
+                LearningPlane { blend: BlendPolicy::Mix { weight }, ..LearningPlane::default() };
+            assert!(mix.validate().unwrap_err().contains("blend weight"));
+        }
+        let edge =
+            LearningPlane { blend: BlendPolicy::Mix { weight: 1.0 }, ..LearningPlane::default() };
+        assert!(edge.validate().is_ok());
+    }
+
+    #[test]
+    fn learn_epochs_follow_the_exchange_cadence() {
+        let every_third = LearningPlane { exchange_every: 3, ..LearningPlane::default() };
+        let rounds: Vec<u64> = (0..9).filter(|&k| every_third.is_learn_epoch(k)).collect();
+        assert_eq!(rounds, vec![2, 5, 8]);
+        let every = LearningPlane::default();
+        assert!((0..4).all(|k| every.is_learn_epoch(k)));
+    }
+
+    #[test]
+    fn absorb_then_round_aggregates_in_node_order() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 3);
+        // Deliver out of order, as a racing worker pool would.
+        exchange.absorb(vec![
+            export(2, 0, &[3.0, 30.0]),
+            export(0, 0, &[1.0, 10.0]),
+            export(1, 0, &[2.0, 20.0]),
+        ]);
+        exchange.round(&[0, 1, 2]);
+        let aggregate = exchange.aggregates()[0].as_ref().unwrap();
+        assert_eq!(aggregate.values(), &[2.0, 20.0]);
+        let stats = exchange.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.participants, 3);
+        assert_eq!(stats.bytes_exchanged, 3 * 2 * 8);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn incompatible_states_are_rejected_against_the_first_seen_reference() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 3);
+        exchange.absorb(vec![
+            export(0, 0, &[1.0, 10.0]),
+            // Wrong shape for the slot: excluded, counted, and harmless.
+            export(1, 0, &[5.0, 5.0, 5.0]),
+            export(2, 0, &[3.0, 30.0]),
+        ]);
+        exchange.round(&[0, 1, 2]);
+        let aggregate = exchange.aggregates()[0].as_ref().unwrap();
+        assert_eq!(aggregate.shape(), &[2]);
+        assert_eq!(aggregate.values(), &[2.0, 20.0]);
+        assert_eq!(exchange.stats().rejected, 1);
+    }
+
+    #[test]
+    fn forgotten_nodes_stop_contributing() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 2);
+        exchange.absorb(vec![export(0, 0, &[1.0]), export(1, 0, &[9.0])]);
+        exchange.forget(1);
+        exchange.round(&[0, 1]);
+        assert_eq!(exchange.aggregates()[0].as_ref().unwrap().values(), &[1.0]);
+        assert!(exchange.local(1, 0).is_none());
+    }
+
+    #[test]
+    fn unexported_slots_aggregate_to_none() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 2);
+        exchange.absorb(vec![NodeLearnedExport { node: 0, states: vec![(1, state(&[4.0]))] }]);
+        exchange.round(&[0, 1]);
+        assert_eq!(exchange.aggregates().len(), 2);
+        assert!(exchange.aggregates()[0].is_none());
+        assert_eq!(exchange.aggregates()[1].as_ref().unwrap().values(), &[4.0]);
+    }
+
+    #[test]
+    fn imports_update_the_mirror_and_count_bytes_both_ways() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 1);
+        exchange.absorb(vec![export(0, 0, &[1.0, 2.0])]);
+        exchange.record_import(0, 0, state(&[5.0, 6.0]));
+        assert_eq!(exchange.local(0, 0).unwrap().values(), &[5.0, 6.0]);
+        let stats = exchange.stats();
+        assert_eq!(stats.redistributed, 1);
+        assert_eq!(stats.bytes_exchanged, 2 * 2 * 8);
+    }
+
+    #[test]
+    fn grow_extends_the_mirror_for_joiners() {
+        let mut exchange = LearningExchange::new(LearningPlane::default(), 1);
+        exchange.grow(3);
+        exchange.absorb(vec![export(2, 0, &[7.0])]);
+        assert_eq!(exchange.local(2, 0).unwrap().values(), &[7.0]);
+    }
+
+    #[test]
+    fn stats_accumulate_field_by_field() {
+        // Reminder: this destructuring must stay exhaustive. If adding a
+        // field here just broke the build, extend `accumulate` (and this
+        // test) rather than papering over it with `..`.
+        let a = LearningStats {
+            rounds: 1,
+            participants: 2,
+            bytes_exchanged: 3,
+            rejected: 4,
+            redistributed: 5,
+            warm_starts: 6,
+        };
+        let mut total = a;
+        total.accumulate(&a);
+        assert_eq!(
+            total,
+            LearningStats {
+                rounds: 2,
+                participants: 4,
+                bytes_exchanged: 6,
+                rejected: 8,
+                redistributed: 10,
+                warm_starts: 12,
+            }
+        );
+    }
+}

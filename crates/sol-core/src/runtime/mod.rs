@@ -21,7 +21,10 @@
 //!   [`FleetReport`](fleet::FleetReport) of fleet-level safety dashboards.
 //!   Node availability is itself programmable: the [`lifecycle`] module's
 //!   typed state machine and seeded [`FaultPlan`](lifecycle::FaultPlan) make
-//!   crashes, joins, and drains first-class fleet events.
+//!   crashes, joins, and drains first-class fleet events. The [`learning`]
+//!   module turns the same barrier into a model-exchange point: learned
+//!   state is robustly aggregated and redistributed fleet-wide, and joiners
+//!   warm-start from the aggregate.
 //!   Reports are byte-identical regardless of the worker-thread count.
 //! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
 //!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
@@ -37,6 +40,7 @@
 
 pub mod builder;
 pub mod fleet;
+pub mod learning;
 pub mod lifecycle;
 pub mod node;
 pub mod placement;

@@ -39,6 +39,8 @@
 use std::any::Any;
 use std::collections::BinaryHeap;
 
+use sol_ml::exchange::{ExchangeError, LearnedState};
+
 use crate::actuator::Actuator;
 use crate::error::{ReportError, RuntimeError};
 use crate::loops::{ActuatorLoop, ModelLoop};
@@ -117,6 +119,25 @@ pub trait AgentDriver<E: Environment>: Any + Send {
     fn stats(&self) -> AgentStats;
     /// Invokes the agent's idempotent clean-up routine.
     fn clean_up(&mut self, now: Timestamp);
+    /// Learning-plane hook: exports the agent's learned parameters for
+    /// fleet-wide exchange, or `None` (the default) if the agent does not
+    /// participate. [`LoopAgent`] forwards to
+    /// [`Model::export_learned`].
+    fn export_learned(&self) -> Option<LearnedState> {
+        None
+    }
+    /// Learning-plane hook: imports a (blended) fleet aggregate into the
+    /// agent's learner. The fleet coordinator only imports into agents whose
+    /// export matched the aggregate, so the default
+    /// ([`ExchangeError::Unsupported`]) is never reached under the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns the learner's [`ExchangeError`] when `state` is incompatible.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        let _ = state;
+        Err(ExchangeError::Unsupported)
+    }
     /// Upcast for typed read access (see [`AgentReport::inner`]).
     fn as_any(&self) -> &dyn Any;
     /// Upcast for typed mutable access.
@@ -223,6 +244,14 @@ where
 
     fn clean_up(&mut self, now: Timestamp) {
         self.actuator_loop.clean_up(now);
+    }
+
+    fn export_learned(&self) -> Option<LearnedState> {
+        self.model_loop.model().export_learned()
+    }
+
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        self.model_loop.model_mut().import_learned(state)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -694,6 +723,13 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     /// per-node telemetry the fleet layer snapshots at epoch barriers.
     pub fn agent_snapshots(&self) -> Vec<(String, AgentStats)> {
         self.agents.iter().map(|slot| (slot.name.clone(), slot.driver.stats())).collect()
+    }
+
+    /// Learned state of every agent, in registration order — what the node
+    /// ships to the fleet's learning plane at epoch barriers. Agents without
+    /// an exchangeable learner contribute `None`.
+    pub fn learned_snapshots(&self) -> Vec<Option<LearnedState>> {
+        self.agents.iter().map(|slot| slot.driver.export_learned()).collect()
     }
 
     /// Read access to the environment (before or after a run segment).

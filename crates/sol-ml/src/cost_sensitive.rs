@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::exchange::{ExchangeError, LearnedExchange, LearnedState, StateKind};
 use crate::linear::OnlineLinearRegression;
 
 /// A labeled training example: the feature vector plus the cost of predicting
@@ -151,6 +152,48 @@ impl CostSensitiveClassifier {
             r.reset();
         }
         self.updates = 0;
+    }
+}
+
+impl LearnedExchange for CostSensitiveClassifier {
+    /// Exports all per-class regressors as [`StateKind::LinearWeights`] with
+    /// shape `[classes, features + 1]`: each row is one class's
+    /// `weights ++ [bias]`.
+    fn export_learned(&self) -> LearnedState {
+        let values = self
+            .regressors
+            .iter()
+            .flat_map(|r| r.weights().iter().copied().chain([r.bias()]))
+            .collect();
+        LearnedState::new(
+            StateKind::LinearWeights,
+            vec![self.regressors.len(), self.features + 1],
+            values,
+        )
+        .expect("regressor parameters are finite")
+    }
+
+    /// Overwrites every per-class regressor's weights and bias. Learning
+    /// rates and the update counter are untouched.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        if state.kind() != StateKind::LinearWeights {
+            return Err(ExchangeError::KindMismatch {
+                expected: StateKind::LinearWeights,
+                found: state.kind(),
+            });
+        }
+        let row = self.features + 1;
+        let expected = [self.regressors.len(), row];
+        if state.shape() != expected {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                found: state.shape().to_vec(),
+            });
+        }
+        for (regressor, row) in self.regressors.iter_mut().zip(state.values().chunks_exact(row)) {
+            regressor.load_row(row);
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,451 @@
+//! Learned-state exchange: a uniform export/import surface over every learner
+//! plus the robust aggregation rules a fleet needs to combine them.
+//!
+//! SOL's agents learn strictly per node; once nodes are mortal (crash, join,
+//! drain) that isolation throws experience away. This module is the sol-ml
+//! half of the fleet learning plane: each learner can export its mutable
+//! parameters as a [`LearnedState`] — a tagged, flat `f64` vector with shape
+//! metadata — and import one back. Peers' states are combined with an
+//! [`AggregationRule`]; the Byzantine-robust rules (coordinate-wise median,
+//! trimmed mean, after SABLE and Dong et al.) bound the influence any single
+//! poisoned node can exert on the fleet aggregate. A [`BlendPolicy`] decides
+//! how much of the aggregate a node adopts.
+//!
+//! Exports capture *values only* — never RNG state, update counters, or
+//! configuration — so importing a state cannot perturb a learner's exploration
+//! stream and determinism is preserved.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which learner family a [`LearnedState`] came from. Aggregation refuses to
+/// mix kinds: averaging a Q-table into a Beta posterior is never meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateKind {
+    /// A tabular Q-function, shape `[states, actions]`, row-major.
+    QTable,
+    /// Linear model parameters: one or more rows of `weights ++ [bias]`.
+    LinearWeights,
+    /// Beta-Bernoulli posteriors, shape `[arms, 2]` as `(α, β)` pairs.
+    BetaPosteriors,
+    /// Welford moment accumulator, shape `[5]`:
+    /// `[count, mean, m2, min, max]` (all zero when empty).
+    RunningMoments,
+}
+
+impl fmt::Display for StateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StateKind::QTable => "q-table",
+            StateKind::LinearWeights => "linear-weights",
+            StateKind::BetaPosteriors => "beta-posteriors",
+            StateKind::RunningMoments => "running-moments",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why an export, import, aggregation, or blend was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The state's kind does not match the learner or the other states.
+    KindMismatch {
+        /// Kind the receiver requires.
+        expected: StateKind,
+        /// Kind that was offered.
+        found: StateKind,
+    },
+    /// The state's shape does not match the learner or the other states.
+    ShapeMismatch {
+        /// Shape the receiver requires.
+        expected: Vec<usize>,
+        /// Shape that was offered.
+        found: Vec<usize>,
+    },
+    /// A value is NaN or infinite.
+    NonFinite {
+        /// Flat index of the offending value.
+        index: usize,
+    },
+    /// A value is finite but semantically invalid for the target learner
+    /// (e.g. a non-positive Beta parameter, a negative sample count).
+    InvalidValue {
+        /// Flat index of the offending value.
+        index: usize,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+    /// [`AggregationRule::aggregate`] was called with zero states.
+    EmptyAggregation,
+    /// The receiver has no learned state to exchange (e.g. a replay driver
+    /// asked to import).
+    Unsupported,
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::KindMismatch { expected, found } => {
+                write!(f, "state kind mismatch: expected {expected}, found {found}")
+            }
+            ExchangeError::ShapeMismatch { expected, found } => {
+                write!(f, "state shape mismatch: expected {expected:?}, found {found:?}")
+            }
+            ExchangeError::NonFinite { index } => {
+                write!(f, "non-finite value at flat index {index}")
+            }
+            ExchangeError::InvalidValue { index, reason } => {
+                write!(f, "invalid value at flat index {index}: {reason}")
+            }
+            ExchangeError::EmptyAggregation => f.write_str("cannot aggregate zero states"),
+            ExchangeError::Unsupported => f.write_str("receiver has no learned state"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// A learner's exported parameters: a kind tag, a shape, and the flat values.
+///
+/// Construction validates that the shape describes the value count and that
+/// every value is finite, so downstream aggregation code never has to handle
+/// NaN (the sort-based rules rely on this).
+///
+/// # Examples
+///
+/// ```
+/// use sol_ml::exchange::{LearnedState, StateKind};
+///
+/// let s = LearnedState::new(StateKind::QTable, vec![2, 3], vec![0.0; 6]).unwrap();
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.byte_len(), 48);
+/// assert!(LearnedState::new(StateKind::QTable, vec![2, 3], vec![f64::NAN; 6]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnedState {
+    kind: StateKind,
+    shape: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl LearnedState {
+    /// Builds a state, validating that `shape`'s element product equals
+    /// `values.len()` and that every value is finite.
+    pub fn new(
+        kind: StateKind,
+        shape: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, ExchangeError> {
+        let expected: usize = shape.iter().product();
+        if expected != values.len() {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: shape,
+                found: vec![values.len()],
+            });
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(ExchangeError::NonFinite { index });
+        }
+        Ok(LearnedState { kind, shape, values })
+    }
+
+    /// The learner family this state belongs to.
+    pub fn kind(&self) -> StateKind {
+        self.kind
+    }
+
+    /// Logical shape of the flat value vector.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The flat values, row-major over [`shape`](Self::shape).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state holds zero values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Wire size of the values in bytes (8 per `f64`), used for the learning
+    /// plane's `bytes_exchanged` accounting.
+    pub fn byte_len(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Checks that `other` has the same kind and shape as `self`.
+    pub fn compatible_with(&self, other: &LearnedState) -> Result<(), ExchangeError> {
+        if self.kind != other.kind {
+            return Err(ExchangeError::KindMismatch { expected: self.kind, found: other.kind });
+        }
+        if self.shape != other.shape {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: self.shape.clone(),
+                found: other.shape.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How a fleet combines one coordinate across peer states.
+///
+/// `Mean` is the textbook federated-averaging rule and is what a single
+/// poisoned peer corrupts: one arbitrarily large coordinate drags the average
+/// anywhere. The robust rules bound that influence: with `n` participants,
+/// `CoordinateWiseMedian` tolerates up to `⌈n/2⌉ - 1` arbitrary vectors and
+/// `TrimmedMean { k }` tolerates up to `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationRule {
+    /// Arithmetic mean of each coordinate. Fast, fragile.
+    Mean,
+    /// Median of each coordinate (even counts average the two middle values).
+    CoordinateWiseMedian,
+    /// Drop the `k` smallest and `k` largest values of each coordinate, then
+    /// average the rest. `k` is clamped so at least one value survives.
+    TrimmedMean {
+        /// Values trimmed from *each* end per coordinate.
+        k: usize,
+    },
+}
+
+impl AggregationRule {
+    /// Combines one coordinate's values across peers. The slice is reordered
+    /// in place (the robust rules sort it). Inputs must be NaN-free —
+    /// guaranteed for values out of [`LearnedState`]s, whose construction
+    /// rejects non-finite values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is empty or contains NaN.
+    pub fn combine(&self, column: &mut [f64]) -> f64 {
+        assert!(!column.is_empty(), "cannot combine zero values");
+        match *self {
+            AggregationRule::Mean => column.iter().sum::<f64>() / column.len() as f64,
+            AggregationRule::CoordinateWiseMedian => {
+                column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN values"));
+                let n = column.len();
+                if n % 2 == 1 {
+                    column[n / 2]
+                } else {
+                    (column[n / 2 - 1] + column[n / 2]) / 2.0
+                }
+            }
+            AggregationRule::TrimmedMean { k } => {
+                column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN values"));
+                let n = column.len();
+                let k = k.min((n - 1) / 2);
+                let kept = &column[k..n - k];
+                kept.iter().sum::<f64>() / kept.len() as f64
+            }
+        }
+    }
+
+    /// Aggregates peer states coordinate-by-coordinate into one state of the
+    /// same kind and shape. All inputs must agree on kind and shape; the
+    /// first state is the reference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sol_ml::exchange::{AggregationRule, LearnedState, StateKind};
+    ///
+    /// let honest = LearnedState::new(StateKind::QTable, vec![2], vec![1.0, 2.0]).unwrap();
+    /// let poisoned = LearnedState::new(StateKind::QTable, vec![2], vec![-1e9, 1e9]).unwrap();
+    /// let states = [honest.clone(), honest.clone(), poisoned];
+    ///
+    /// let median = AggregationRule::CoordinateWiseMedian.aggregate(&states).unwrap();
+    /// assert_eq!(median.values(), honest.values()); // outvoted
+    ///
+    /// let mean = AggregationRule::Mean.aggregate(&states).unwrap();
+    /// assert!(mean.values()[1] > 1e8); // dragged away
+    /// ```
+    pub fn aggregate(&self, states: &[LearnedState]) -> Result<LearnedState, ExchangeError> {
+        let first = states.first().ok_or(ExchangeError::EmptyAggregation)?;
+        for state in &states[1..] {
+            first.compatible_with(state)?;
+        }
+        let mut column = vec![0.0; states.len()];
+        let values = (0..first.len())
+            .map(|i| {
+                for (slot, state) in column.iter_mut().zip(states) {
+                    *slot = state.values[i];
+                }
+                self.combine(&mut column)
+            })
+            .collect();
+        LearnedState::new(first.kind, first.shape.clone(), values)
+    }
+}
+
+/// How much of the fleet aggregate a node adopts at a learning round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BlendPolicy {
+    /// Adopt the aggregate wholesale.
+    Replace,
+    /// Convex mix: `(1 - weight) * local + weight * aggregate`, with `weight`
+    /// clamped to `[0, 1]` (the aggregate's share).
+    Mix {
+        /// Share of the aggregate in the mix.
+        weight: f64,
+    },
+}
+
+impl BlendPolicy {
+    /// Blends the fleet `aggregate` into `local` according to the policy.
+    /// The two states must agree on kind and shape.
+    pub fn blend(
+        &self,
+        local: &LearnedState,
+        aggregate: &LearnedState,
+    ) -> Result<LearnedState, ExchangeError> {
+        local.compatible_with(aggregate)?;
+        match *self {
+            BlendPolicy::Replace => Ok(aggregate.clone()),
+            BlendPolicy::Mix { weight } => {
+                let w = weight.clamp(0.0, 1.0);
+                let values = local
+                    .values
+                    .iter()
+                    .zip(&aggregate.values)
+                    .map(|(l, a)| (1.0 - w) * l + w * a)
+                    .collect();
+                // A convex mix of finite values is finite, so this cannot fail.
+                LearnedState::new(local.kind, local.shape.clone(), values)
+            }
+        }
+    }
+}
+
+/// The export/import surface every exchangeable learner implements.
+///
+/// Implementations exchange *parameter values only*: importing a state must
+/// not touch RNG streams, update counters, or configuration, so a node's
+/// decision sequence stays deterministic modulo the imported values.
+pub trait LearnedExchange {
+    /// Snapshots the learner's parameters.
+    fn export_learned(&self) -> LearnedState;
+
+    /// Overwrites the learner's parameters from `state`, validating kind,
+    /// shape, and value constraints first. On error the learner is unchanged.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(values: Vec<f64>) -> LearnedState {
+        let n = values.len();
+        LearnedState::new(StateKind::QTable, vec![n], values).unwrap()
+    }
+
+    #[test]
+    fn new_validates_shape_product() {
+        let err = LearnedState::new(StateKind::QTable, vec![2, 3], vec![0.0; 5]).unwrap_err();
+        assert!(matches!(err, ExchangeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn new_rejects_non_finite_values() {
+        let err = LearnedState::new(StateKind::QTable, vec![3], vec![0.0, f64::INFINITY, 1.0])
+            .unwrap_err();
+        assert_eq!(err, ExchangeError::NonFinite { index: 1 });
+    }
+
+    #[test]
+    fn mean_is_arithmetic_mean() {
+        let agg = AggregationRule::Mean
+            .aggregate(&[state(vec![1.0, 10.0]), state(vec![3.0, 20.0])])
+            .unwrap();
+        assert_eq!(agg.values(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn median_handles_odd_and_even_counts() {
+        let mut odd = [3.0, 1.0, 2.0];
+        assert_eq!(AggregationRule::CoordinateWiseMedian.combine(&mut odd), 2.0);
+        let mut even = [4.0, 1.0, 2.0, 3.0];
+        assert_eq!(AggregationRule::CoordinateWiseMedian.combine(&mut even), 2.5);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let mut col = [100.0, 1.0, 2.0, 3.0, -100.0];
+        assert_eq!(AggregationRule::TrimmedMean { k: 1 }.combine(&mut col), 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_clamps_k_to_leave_a_value() {
+        // k = 10 over 3 values clamps to k = 1, keeping the middle one.
+        let mut col = [5.0, 1.0, 9.0];
+        assert_eq!(AggregationRule::TrimmedMean { k: 10 }.combine(&mut col), 5.0);
+        let mut single = [7.0];
+        assert_eq!(AggregationRule::TrimmedMean { k: 10 }.combine(&mut single), 7.0);
+    }
+
+    #[test]
+    fn aggregate_rejects_empty_and_mismatched_inputs() {
+        assert_eq!(
+            AggregationRule::Mean.aggregate(&[]).unwrap_err(),
+            ExchangeError::EmptyAggregation
+        );
+        let err = AggregationRule::Mean
+            .aggregate(&[state(vec![1.0]), state(vec![1.0, 2.0])])
+            .unwrap_err();
+        assert!(matches!(err, ExchangeError::ShapeMismatch { .. }));
+        let beta = LearnedState::new(StateKind::BetaPosteriors, vec![1], vec![1.0]).unwrap();
+        let err = AggregationRule::Mean.aggregate(&[state(vec![1.0]), beta]).unwrap_err();
+        assert!(matches!(err, ExchangeError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn blend_replace_adopts_the_aggregate() {
+        let local = state(vec![1.0, 1.0]);
+        let agg = state(vec![5.0, 9.0]);
+        assert_eq!(BlendPolicy::Replace.blend(&local, &agg).unwrap(), agg);
+    }
+
+    #[test]
+    fn blend_mix_is_convex_and_clamped() {
+        let local = state(vec![0.0]);
+        let agg = state(vec![10.0]);
+        let mixed = BlendPolicy::Mix { weight: 0.25 }.blend(&local, &agg).unwrap();
+        assert_eq!(mixed.values(), &[2.5]);
+        let clamped = BlendPolicy::Mix { weight: 7.0 }.blend(&local, &agg).unwrap();
+        assert_eq!(clamped.values(), &[10.0]);
+    }
+
+    #[test]
+    fn blend_rejects_incompatible_states() {
+        let local = state(vec![0.0]);
+        let agg = state(vec![1.0, 2.0]);
+        assert!(BlendPolicy::Replace.blend(&local, &agg).is_err());
+    }
+
+    #[test]
+    fn byte_len_counts_f64_wire_size() {
+        assert_eq!(state(vec![0.0; 7]).byte_len(), 56);
+        assert!(state(vec![]).is_empty());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let text = ExchangeError::KindMismatch {
+            expected: StateKind::QTable,
+            found: StateKind::BetaPosteriors,
+        }
+        .to_string();
+        assert!(text.contains("q-table") && text.contains("beta-posteriors"));
+        let text = ExchangeError::InvalidValue { index: 3, reason: "must be positive" }.to_string();
+        assert!(text.contains('3') && text.contains("must be positive"));
+    }
+}

@@ -13,8 +13,11 @@
 //!   paper §5.3).
 //!
 //! Supporting modules provide streaming statistics ([`online_stats`]),
-//! distributional feature extraction ([`features`]), and deterministic
-//! sampling utilities ([`sampling`]).
+//! distributional feature extraction ([`features`]), deterministic sampling
+//! utilities ([`sampling`]), and the fleet learning plane's exchange surface
+//! ([`exchange`]): every learner exports/imports its parameters as a tagged
+//! flat-`f64` [`exchange::LearnedState`] that robust aggregation rules
+//! (coordinate-wise median, trimmed mean) can combine across nodes.
 //!
 //! Everything is deterministic given a seed, allocation-light, and designed to
 //! run inside resource-constrained agent control loops.
@@ -23,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cost_sensitive;
+pub mod exchange;
 pub mod features;
 pub mod linear;
 pub mod online_stats;
@@ -33,6 +37,9 @@ pub mod thompson;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::cost_sensitive::{CostSensitiveClassifier, CostSensitiveExample};
+    pub use crate::exchange::{
+        AggregationRule, BlendPolicy, ExchangeError, LearnedExchange, LearnedState, StateKind,
+    };
     pub use crate::features::{DistributionalFeatures, FeatureVector};
     pub use crate::linear::OnlineLinearRegression;
     pub use crate::online_stats::{Ewma, Histogram, RunningStats, SlidingWindow};

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::exchange::{ExchangeError, LearnedExchange, LearnedState, StateKind};
+
 /// An online least-squares linear model `y ≈ w·x + b` trained by SGD.
 ///
 /// # Examples
@@ -117,6 +119,46 @@ impl OnlineLinearRegression {
         }
         self.bias = 0.0;
         self.updates = 0;
+    }
+
+    /// Overwrites the model's parameters from one `weights ++ [bias]` row.
+    /// Used by the exchange impls here and in
+    /// [`crate::cost_sensitive::CostSensitiveClassifier`].
+    pub(crate) fn load_row(&mut self, row: &[f64]) {
+        let (bias, weights) = row.split_last().expect("row holds at least the bias");
+        self.weights.copy_from_slice(weights);
+        self.bias = *bias;
+    }
+}
+
+impl LearnedExchange for OnlineLinearRegression {
+    /// Exports `weights ++ [bias]` as [`StateKind::LinearWeights`] with shape
+    /// `[features + 1]`.
+    fn export_learned(&self) -> LearnedState {
+        let mut values = self.weights.clone();
+        values.push(self.bias);
+        LearnedState::new(StateKind::LinearWeights, vec![self.weights.len() + 1], values)
+            .expect("model parameters are finite")
+    }
+
+    /// Overwrites weights and bias. Learning rate, regularization, and the
+    /// update counter are untouched.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        if state.kind() != StateKind::LinearWeights {
+            return Err(ExchangeError::KindMismatch {
+                expected: StateKind::LinearWeights,
+                found: state.kind(),
+            });
+        }
+        let expected = [self.weights.len() + 1];
+        if state.shape() != expected {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                found: state.shape().to_vec(),
+            });
+        }
+        self.load_row(state.values());
+        Ok(())
     }
 }
 

@@ -9,6 +9,8 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use crate::exchange::{ExchangeError, LearnedExchange, LearnedState, StateKind};
+
 /// Incremental mean and variance (Welford's algorithm).
 ///
 /// # Examples
@@ -123,6 +125,67 @@ impl RunningStats {
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl LearnedExchange for RunningStats {
+    /// Exports the accumulator as [`StateKind::RunningMoments`] with shape
+    /// `[5]`: `[count, mean, m2, min, max]`. An empty accumulator exports all
+    /// zeros (its internal ±∞ min/max sentinels are not representable in a
+    /// finite-only [`LearnedState`]).
+    fn export_learned(&self) -> LearnedState {
+        let values = if self.count == 0 {
+            vec![0.0; 5]
+        } else {
+            vec![self.count as f64, self.mean, self.m2, self.min, self.max]
+        };
+        LearnedState::new(StateKind::RunningMoments, vec![5], values).expect("moments are finite")
+    }
+
+    /// Overwrites the accumulator. The count must be a non-negative integer,
+    /// `m2` non-negative, and `min <= max`; a zero count resets to empty.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        if state.kind() != StateKind::RunningMoments {
+            return Err(ExchangeError::KindMismatch {
+                expected: StateKind::RunningMoments,
+                found: state.kind(),
+            });
+        }
+        if state.shape() != [5] {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: vec![5],
+                found: state.shape().to_vec(),
+            });
+        }
+        let v = state.values();
+        if v[0] < 0.0 || v[0].fract() != 0.0 {
+            return Err(ExchangeError::InvalidValue {
+                index: 0,
+                reason: "count must be a non-negative integer",
+            });
+        }
+        if v[2] < 0.0 {
+            return Err(ExchangeError::InvalidValue {
+                index: 2,
+                reason: "m2 must be non-negative",
+            });
+        }
+        if v[0] > 0.0 && v[3] > v[4] {
+            return Err(ExchangeError::InvalidValue {
+                index: 3,
+                reason: "min must not exceed max",
+            });
+        }
+        if v[0] == 0.0 {
+            *self = RunningStats::new();
+        } else {
+            self.count = v[0] as u64;
+            self.mean = v[1];
+            self.m2 = v[2];
+            self.min = v[3];
+            self.max = v[4];
+        }
+        Ok(())
     }
 }
 

@@ -10,6 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::exchange::{ExchangeError, LearnedExchange, LearnedState, StateKind};
+
 /// Configuration for a [`QLearner`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QConfig {
@@ -130,6 +132,22 @@ impl QLearner {
         self.table[self.index(state, action)]
     }
 
+    /// The full Q-table, row-major: entry `state * actions + action`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sol_ml::qlearning::{QConfig, QLearner};
+    ///
+    /// let mut q = QLearner::with_seed(QConfig::new(2, 2), 0);
+    /// q.update(1, 0, 4.0, 1);
+    /// assert_eq!(q.table().len(), 4);
+    /// assert_eq!(q.table()[2], q.q_value(1, 0));
+    /// ```
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
     /// The greedy (highest-Q) action in `state`.
     ///
     /// # Panics
@@ -190,6 +208,39 @@ impl QLearner {
         assert!(state < self.config.states, "state out of range");
         assert!(action < self.config.actions, "action out of range");
         state * self.config.actions + action
+    }
+}
+
+impl LearnedExchange for QLearner {
+    /// Exports the Q-table as [`StateKind::QTable`] with shape
+    /// `[states, actions]`.
+    fn export_learned(&self) -> LearnedState {
+        LearnedState::new(
+            StateKind::QTable,
+            vec![self.config.states, self.config.actions],
+            self.table.clone(),
+        )
+        .expect("Q-table values are finite")
+    }
+
+    /// Overwrites the Q-table. RNG state, update counter, and configuration
+    /// are untouched, so the exploration stream is unperturbed.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        if state.kind() != StateKind::QTable {
+            return Err(ExchangeError::KindMismatch {
+                expected: StateKind::QTable,
+                found: state.kind(),
+            });
+        }
+        let expected = [self.config.states, self.config.actions];
+        if state.shape() != expected {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                found: state.shape().to_vec(),
+            });
+        }
+        self.table.copy_from_slice(state.values());
+        Ok(())
     }
 }
 

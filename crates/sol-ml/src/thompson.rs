@@ -10,6 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::exchange::{ExchangeError, LearnedExchange, LearnedState, StateKind};
+
 /// Posterior state of one arm: a Beta(α, β) distribution over its success
 /// probability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,6 +142,23 @@ impl ThompsonSampler {
         &self.arms[arm]
     }
 
+    /// All arm posteriors, in arm order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sol_ml::thompson::ThompsonSampler;
+    ///
+    /// let mut bandit = ThompsonSampler::with_seed(2, 1);
+    /// bandit.record(1, true);
+    /// let posteriors = bandit.posteriors();
+    /// assert_eq!(posteriors.len(), 2);
+    /// assert!(posteriors[1].mean() > posteriors[0].mean());
+    /// ```
+    pub fn posteriors(&self) -> &[BetaArm] {
+        &self.arms
+    }
+
     /// Selects an arm by sampling each posterior and picking the best draw.
     pub fn select(&mut self) -> usize {
         self.selections += 1;
@@ -193,6 +212,46 @@ impl ThompsonSampler {
             *arm = BetaArm::uniform();
         }
         self.selections = 0;
+    }
+}
+
+impl LearnedExchange for ThompsonSampler {
+    /// Exports the posteriors as [`StateKind::BetaPosteriors`] with shape
+    /// `[arms, 2]`: each row is one arm's `(α, β)` pair.
+    fn export_learned(&self) -> LearnedState {
+        let values = self.arms.iter().flat_map(|a| [a.alpha, a.beta]).collect();
+        LearnedState::new(StateKind::BetaPosteriors, vec![self.arms.len(), 2], values)
+            .expect("Beta parameters are finite")
+    }
+
+    /// Overwrites every arm's posterior, requiring all parameters to be
+    /// strictly positive (a Beta distribution is undefined otherwise). RNG
+    /// state and the selection counter are untouched.
+    fn import_learned(&mut self, state: &LearnedState) -> Result<(), ExchangeError> {
+        if state.kind() != StateKind::BetaPosteriors {
+            return Err(ExchangeError::KindMismatch {
+                expected: StateKind::BetaPosteriors,
+                found: state.kind(),
+            });
+        }
+        let expected = [self.arms.len(), 2];
+        if state.shape() != expected {
+            return Err(ExchangeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                found: state.shape().to_vec(),
+            });
+        }
+        if let Some(index) = state.values().iter().position(|&v| v <= 0.0) {
+            return Err(ExchangeError::InvalidValue {
+                index,
+                reason: "Beta parameters must be strictly positive",
+            });
+        }
+        for (arm, pair) in self.arms.iter_mut().zip(state.values().chunks_exact(2)) {
+            arm.alpha = pair[0];
+            arm.beta = pair[1];
+        }
+        Ok(())
     }
 }
 

@@ -75,6 +75,11 @@ fn fleet_churn_example_runs() {
 }
 
 #[test]
+fn fleet_learning_example_runs() {
+    run_example("fleet_learning");
+}
+
+#[test]
 fn three_agents_example_runs() {
     run_example("three_agents");
 }

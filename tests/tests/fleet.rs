@@ -106,6 +106,7 @@ proptest! {
             threads,
             epoch: SimDuration::from_millis(epoch_ms),
             seed: fleet_seed,
+            ..FleetConfig::default()
         };
         let horizon = SimDuration::from_secs(3);
         let fleet = FleetRuntime::new(toy_recipe(), config).unwrap();
@@ -225,6 +226,7 @@ fn imbalanced_fleet_reports_are_byte_identical_across_worker_thread_counts() {
         threads,
         epoch: SimDuration::from_millis(500),
         seed: 0xD15B,
+        ..FleetConfig::default()
     };
     let run = |threads: usize| {
         let fleet = FleetRuntime::new(imbalanced_recipe(), config(threads)).unwrap();

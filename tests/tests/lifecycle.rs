@@ -256,6 +256,7 @@ proptest! {
             threads,
             epoch: SimDuration::from_millis(500),
             seed: fleet_seed,
+            ..FleetConfig::default()
         };
         let horizon = SimDuration::from_secs(2);
         let fleet = FleetRuntime::new(toy_recipe(), config).unwrap();
