@@ -76,6 +76,13 @@ pub struct ColocationConfig {
     /// (0 — the default — declines all fleet-level placement; see
     /// `CpuNodeConfig::placeable_cores`).
     pub placeable_cores: f64,
+    /// Capacity of the node's latency sliding windows (the harvest
+    /// substrate's request-latency window and the ObjectStore workload's
+    /// operation-latency window). The default (4096 samples) matches the
+    /// historical hardcoded size; large fleets shrink it to cut per-node
+    /// memory (see `FleetReport::mem_bytes_per_node`). Quantile estimates
+    /// get noisier below ~512 samples.
+    pub latency_window: usize,
 }
 
 impl Default for ColocationConfig {
@@ -89,6 +96,7 @@ impl Default for ColocationConfig {
             cpu_seed: CpuNodeConfig::default().seed,
             couple_frequency: true,
             placeable_cores: 0.0,
+            latency_window: 4_096,
         }
     }
 }
@@ -139,12 +147,15 @@ pub struct ColocatedAgents {
 /// ```
 pub fn colocated_agents(config: ColocationConfig) -> ColocatedAgents {
     let cpu = Shared::new(CpuNode::new(
-        config.workload.build(config.cores),
+        config.workload.build_with_window(config.cores, config.latency_window),
         CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
             .with_seed(config.cpu_seed)
             .with_placeable_cores(config.placeable_cores),
     ));
-    let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
+    let harvest_node = Shared::new(HarvestNode::new(
+        config.service,
+        HarvestNodeConfig { latency_window: config.latency_window, ..HarvestNodeConfig::default() },
+    ));
     let mut node = MultiNode::builder().cpu(cpu.clone()).harvest(harvest_node.clone());
     if config.couple_frequency {
         node = node.coupling(Coupling::FrequencyToDemand);
@@ -189,6 +200,9 @@ pub struct ThreeAgentConfig {
     /// Cores' worth of dynamically placeable VM slots on the CPU substrate
     /// (0 — the default — declines all fleet-level placement).
     pub placeable_cores: f64,
+    /// Capacity of the node's latency sliding windows (see
+    /// [`ColocationConfig::latency_window`]).
+    pub latency_window: usize,
 }
 
 impl Default for ThreeAgentConfig {
@@ -210,6 +224,7 @@ impl Default for ThreeAgentConfig {
             couple_frequency: true,
             couple_memory_bandwidth: true,
             placeable_cores: 0.0,
+            latency_window: 4_096,
         }
     }
 }
@@ -272,12 +287,15 @@ pub struct ThreeAgents {
 /// ```
 pub fn three_agents(config: ThreeAgentConfig) -> ThreeAgents {
     let cpu = Shared::new(CpuNode::new(
-        config.workload.build(config.cores),
+        config.workload.build_with_window(config.cores, config.latency_window),
         CpuNodeConfig { cores: config.cores, ..CpuNodeConfig::default() }
             .with_seed(config.cpu_seed)
             .with_placeable_cores(config.placeable_cores),
     ));
-    let harvest_node = Shared::new(HarvestNode::new(config.service, HarvestNodeConfig::default()));
+    let harvest_node = Shared::new(HarvestNode::new(
+        config.service,
+        HarvestNodeConfig { latency_window: config.latency_window, ..HarvestNodeConfig::default() },
+    ));
     let memory_node = Shared::new(MemoryNode::new(config.memory_workload, config.memory_node));
 
     let mut node = MultiNode::builder()
@@ -532,6 +550,25 @@ mod tests {
         // The ObjectStore CPU workload overclocks quickly, so the coupled
         // memory substrate sees at least as many accesses.
         assert!(run(true) >= run(false));
+    }
+
+    #[test]
+    fn latency_window_knob_shrinks_the_node_footprint() {
+        // Windows allocate lazily, so run long enough for both sizes to fill.
+        let footprint = |window: usize| {
+            let config = ColocationConfig { latency_window: window, ..Default::default() };
+            let mut runtime = colocated_agents(config).runtime;
+            runtime.run_until(Timestamp::from_secs(30));
+            runtime.mem_bytes()
+        };
+        let full = footprint(4_096);
+        let compact = footprint(512);
+        assert!(
+            compact < full,
+            "512-sample windows ({compact} B) must undercut 4096-sample windows ({full} B)"
+        );
+        // The harvest-side latency window alone shrinks by 3584 samples.
+        assert!(full - compact >= 3_584 * std::mem::size_of::<f64>());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use sol_bench::report::{env_u64, fmt, json_rows, print_table};
-use sol_bench::trajectory::parse_rows;
+use sol_bench::trajectory::merge_artifact_rows;
 use sol_ml::exchange::{AggregationRule, LearnedState, StateKind};
 
 const SCHEMA_VERSION: f64 = 2.0;
@@ -67,10 +67,11 @@ fn main() {
         }
     }
 
-    match merge_into_artifact(&json_rows(&json)) {
-        Ok(total) => {
-            eprintln!("merged {} learning rows into {ARTIFACT} ({total} total)", json.len())
-        }
+    let existing = std::fs::read_to_string(ARTIFACT).unwrap_or_else(|_| "[\n]\n".to_string());
+    match merge_artifact_rows(&existing, &json_rows(&json), "learning_nodes")
+        .and_then(|merged| std::fs::write(ARTIFACT, merged).map_err(|e| e.to_string()))
+    {
+        Ok(()) => eprintln!("merged {} learning rows into {ARTIFACT}", json.len()),
         Err(e) => eprintln!("could not update {ARTIFACT}: {e}"),
     }
 
@@ -79,26 +80,4 @@ fn main() {
         &["Nodes", "Rule", "Round ms", "µs/node"],
         &table,
     );
-}
-
-/// Replaces the artifact's `learning_*` rows with `fresh` (itself a
-/// `json_rows` document), leaving the fleet scaling rows byte-untouched. The
-/// writer emits one row per line, so the merge is line-based — but the result
-/// is still validated with the trajectory parser before it lands.
-fn merge_into_artifact(fresh: &str) -> Result<usize, String> {
-    let existing = match std::fs::read_to_string(ARTIFACT) {
-        Ok(text) => text,
-        Err(_) => "[\n]\n".to_string(),
-    };
-    parse_rows(&existing).map_err(|e| format!("existing artifact is malformed: {e}"))?;
-    let rows: Vec<String> = existing
-        .lines()
-        .filter(|line| line.contains('{') && !line.contains("\"learning_nodes\""))
-        .chain(fresh.lines().filter(|line| line.contains('{')))
-        .map(|line| line.trim_end().trim_end_matches(',').to_string())
-        .collect();
-    let merged = format!("[\n{}\n]\n", rows.join(",\n"));
-    let total = parse_rows(&merged).map_err(|e| format!("merged artifact is malformed: {e}"))?;
-    std::fs::write(ARTIFACT, &merged).map_err(|e| e.to_string())?;
-    Ok(total.len())
 }

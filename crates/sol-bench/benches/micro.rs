@@ -2,13 +2,17 @@
 //! cost an agent adds to a node (paper §6.1 notes the runtime requires very
 //! few resources), plus the event-queue hot path of the node runtime.
 
+use std::collections::BinaryHeap;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sol_core::error::DataError;
 use sol_core::prelude::*;
+use sol_core::runtime::wheel::TimeWheel;
 use sol_ml::cost_sensitive::{CostSensitiveClassifier, CostSensitiveExample};
 use sol_ml::features::DistributionalFeatures;
 use sol_ml::qlearning::{QConfig, QLearner};
 use sol_ml::thompson::ThompsonSampler;
+use sol_node_sim::shared::Shared;
 
 fn ml_kernels(c: &mut Criterion) {
     c.bench_function("qlearning_choose_and_update", |b| {
@@ -122,6 +126,154 @@ fn runtime_event_queue(c: &mut Criterion) {
                 rt.delay_model_at(id, Timestamp::from_secs(2 * s), SimDuration::from_millis(500));
             }
             rt.run_for(SimDuration::from_secs(60)).expect("non-empty horizon")
+        });
+    });
+}
+
+/// The binary-heap scheduling discipline the node runtime used before the
+/// time wheel: one globally sequenced entry per event, one `O(log n)`
+/// rebalance per push and per pop. Kept here (the runtime no longer has it)
+/// so the wheel's win stays measurable instead of anecdotal.
+struct OldHeap {
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+}
+
+struct HeapEntry {
+    at: u64,
+    seq: u64,
+    kind: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, the scheduler pops earliest.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl OldHeap {
+    fn new() -> Self {
+        OldHeap { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    fn schedule(&mut self, at: Timestamp, kind: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { at: at.as_nanos(), seq, kind });
+    }
+
+    fn pop_due(&mut self, out: &mut Vec<u32>) -> Option<Timestamp> {
+        let next = Timestamp::from_nanos(self.heap.peek()?.at);
+        while self.heap.peek().is_some_and(|e| e.at <= next.as_nanos()) {
+            out.push(self.heap.pop().expect("peeked").kind);
+        }
+        Some(next)
+    }
+}
+
+/// The scheduler traffic both queue benches replay: `streams`
+/// self-rescheduling wakes on a 10 ms cadence (the shape of agent collect
+/// loops — almost every event fires within one wheel granule of now), until
+/// `events` pops have been served.
+const QUEUE_STREAMS: u64 = 8;
+const QUEUE_EVENTS: usize = 48_000; // 8 streams × 6 000 wakes = 60 virtual s.
+
+/// Raw event-queue cost, old discipline vs new: the same 48 000-event
+/// cadence workload through the pre-refactor global-sequence binary heap and
+/// through the two-level time wheel that replaced it. Divide by 48 000 for
+/// ns/event.
+fn scheduler_queue(c: &mut Criterion) {
+    let cadence = SimDuration::from_millis(10);
+
+    c.bench_function("event_queue_heap_48k_events", |b| {
+        b.iter(|| {
+            let mut q = OldHeap::new();
+            for s in 0..QUEUE_STREAMS {
+                q.schedule(Timestamp::from_micros(s), s as u32);
+            }
+            let mut popped = 0usize;
+            let mut due = Vec::new();
+            while popped < QUEUE_EVENTS {
+                let next = q.pop_due(&mut due).expect("streams self-reschedule");
+                popped += due.len();
+                for &k in &due {
+                    q.schedule(next + cadence, k);
+                }
+                due.clear();
+            }
+            std::hint::black_box(popped)
+        });
+    });
+
+    c.bench_function("event_queue_wheel_48k_events", |b| {
+        b.iter(|| {
+            let mut q: TimeWheel<u32> = TimeWheel::new();
+            for s in 0..QUEUE_STREAMS {
+                q.schedule(Timestamp::from_micros(s), s as u32);
+            }
+            let mut popped = 0usize;
+            let mut due = Vec::new();
+            while popped < QUEUE_EVENTS {
+                let next = q.peek(|_| true).expect("streams self-reschedule");
+                q.drain_due(next, &mut due);
+                popped += due.len();
+                for &k in &due {
+                    q.schedule(next + cadence, k);
+                }
+                due.clear();
+            }
+            std::hint::black_box(popped)
+        });
+    });
+}
+
+/// Lock traffic on a shared node, per-call vs scoped: 1 000 accesses each
+/// paying a full acquire/release round-trip, against the same 1 000 under
+/// one open `Shared::scope` guard (the owner fast path the runtime takes
+/// for a whole event batch). Divide by 1 000 for ns/access.
+fn shared_lock_traffic(c: &mut Criterion) {
+    c.bench_function("shared_lock_per_call_1k_accesses", |b| {
+        let shared = Shared::new(0u64);
+        b.iter(|| {
+            let mut last = 0;
+            for _ in 0..1_000 {
+                last = shared.with(|v| {
+                    *v += 1;
+                    *v
+                });
+            }
+            std::hint::black_box(last)
+        });
+    });
+
+    c.bench_function("shared_guard_scope_1k_accesses", |b| {
+        let shared = Shared::new(0u64);
+        b.iter(|| {
+            let scope = shared.scope();
+            let mut last = 0;
+            for _ in 0..1_000 {
+                last = shared.with(|v| {
+                    *v += 1;
+                    *v
+                });
+            }
+            drop(scope);
+            std::hint::black_box(last)
         });
     });
 }
@@ -263,6 +415,7 @@ fn barrier_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50);
-    targets = ml_kernels, runtime_event_queue, view_construction, barrier_overhead
+    targets = ml_kernels, runtime_event_queue, scheduler_queue, shared_lock_traffic,
+        view_construction, barrier_overhead
 }
 criterion_main!(benches);

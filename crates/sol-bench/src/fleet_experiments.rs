@@ -46,6 +46,9 @@ pub struct FleetScalingRow {
     pub max_p99_latency_ms: f64,
     /// Total core-seconds harvested across the fleet.
     pub total_harvested_core_seconds: f64,
+    /// Largest per-node simulation-state footprint in the fleet, in bytes
+    /// (see [`FleetReport::mem_bytes_per_node`]).
+    pub mem_bytes_per_node: usize,
 }
 
 /// Runs a `nodes` × `threads` fleet of the default two-agent co-location
@@ -76,6 +79,7 @@ pub fn fleet_scaling_row(nodes: usize, threads: usize, horizon: SimDuration) -> 
         mean_p99_latency_ms: p99.mean,
         max_p99_latency_ms: p99.max,
         total_harvested_core_seconds: harvested.total,
+        mem_bytes_per_node: report.mem_bytes_per_node,
     }
 }
 
@@ -209,6 +213,7 @@ mod tests {
         assert!(row.mean_p99_latency_ms <= row.max_p99_latency_ms);
         assert!(row.total_harvested_core_seconds > 0.0);
         assert!((0.0..=1.0).contains(&row.harvest_safeguard_rate));
+        assert!(row.mem_bytes_per_node > 0, "footprint accounting must surface");
     }
 
     #[test]

@@ -286,6 +286,11 @@ pub struct FleetNodeReport {
     /// node this is the boundary at which it retired, measured on the node's
     /// own clock (which starts at zero when the node joins).
     pub ended_at: Timestamp,
+    /// Bytes of simulation state the node held when it stopped — the
+    /// runtime's event wheel plus whatever the environment reports through
+    /// [`Environment::mem_bytes`]. Zero for environments that do not
+    /// implement the accounting hook.
+    pub mem_bytes: usize,
 }
 
 /// Nearest-rank percentiles over one per-node statistic of an agent role.
@@ -455,6 +460,11 @@ pub struct FleetReport {
     /// Number of epoch-boundary synchronizations the run performed (the
     /// controller is invoked once per boundary).
     pub epochs: u64,
+    /// The largest per-node [`FleetNodeReport::mem_bytes`] in the fleet — the
+    /// per-node budget a host must provision to run this configuration. A
+    /// max (not a mean) because every node must fit; deterministic because
+    /// each node's footprint is a pure function of its trajectory.
+    pub mem_bytes_per_node: usize,
 }
 
 impl FleetReport {
@@ -1525,6 +1535,12 @@ impl<E: Environment + 'static> ShardNode<E> {
 
 /// A node's lifetime inside its arena slot: recipe-stampable, stamped, or
 /// permanently retired.
+///
+/// `Live` dwarfs the other variants, but boxing it would put a pointer chase
+/// on every event batch: a slot spends essentially its whole lifetime `Live`,
+/// and the enum lives in a per-node heap allocation already (the arena's
+/// `Arc<NodeSlot>`), so the size difference buys nothing.
+#[allow(clippy::large_enum_variant)]
 enum Slot<E: Environment + 'static> {
     /// Not yet stamped: holds everything needed to stamp on first claim, so
     /// construction cost lands on whichever worker first advances the node,
@@ -1729,6 +1745,7 @@ fn summarize<E: Environment + 'static>(
     runtime: NodeRuntime<E>,
 ) -> FleetNodeReport {
     let workloads = runtime.placement().resident;
+    let mem_bytes = runtime.mem_bytes();
     let report = runtime.finish();
     let metrics = recipe.extract_metrics(&report);
     let agents = report
@@ -1747,6 +1764,7 @@ fn summarize<E: Environment + 'static>(
         // no lifecycle events — keeping [`FleetRuntime::run_node`] exact.
         lifecycle: NodeRecord::initial(seed.index() as usize),
         ended_at: report.ended_at,
+        mem_bytes,
     }
 }
 
@@ -1856,7 +1874,17 @@ fn aggregate(
         })
         .collect();
 
-    Ok(FleetReport { nodes, roles, metrics, placement, learning, ended_at, epochs })
+    let mem_bytes_per_node = nodes.iter().map(|n| n.mem_bytes).max().unwrap_or(0);
+    Ok(FleetReport {
+        nodes,
+        roles,
+        metrics,
+        placement,
+        learning,
+        ended_at,
+        epochs,
+        mem_bytes_per_node,
+    })
 }
 
 #[cfg(test)]
@@ -1939,6 +1967,20 @@ mod tests {
         // An epoch equal to the horizon is the single-epoch case, not an
         // error.
         assert!(fleet.run(SimDuration::from_secs(30)).is_ok());
+    }
+
+    #[test]
+    fn report_surfaces_per_node_memory_footprint() {
+        let config = FleetConfig { nodes: 4, threads: 2, ..FleetConfig::default() };
+        let fleet = FleetRuntime::new(heterogeneous_recipe(), config).unwrap();
+        let report = fleet.run(SimDuration::from_secs(2)).unwrap();
+        // StepEnv reports no environment bytes, but every node still carries
+        // its event wheel, so the accounting is non-zero on every node.
+        for node in &report.nodes {
+            assert!(node.mem_bytes > 0, "node {} reported zero bytes", node.node);
+        }
+        let max = report.nodes.iter().map(|n| n.mem_bytes).max().unwrap();
+        assert_eq!(report.mem_bytes_per_node, max);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Four drivers are provided:
 //!
 //! * [`NodeRuntime`](node::NodeRuntime) — the multi-agent discrete-event
-//!   driver: a binary-heap event queue (agent wakes and interventions as
-//!   first-class events, environment-step boundaries merged into the tick
-//!   time) hosting *N* heterogeneous agents, each erased behind the
+//!   driver: a two-level bucketed time-wheel event queue (agent wakes and
+//!   interventions as first-class events, environment-step boundaries
+//!   merged into the tick time) hosting *N* heterogeneous agents, each
+//!   erased behind the
 //!   object-safe [`AgentDriver`](node::AgentDriver) trait, on one shared
 //!   [`Environment`]. This is what the paper's co-location scenario (§4.2,
 //!   §6) runs on. Scenarios are normally assembled through the typed
@@ -49,6 +50,8 @@ pub mod sim;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod threaded;
+#[doc(hidden)]
+pub mod wheel;
 
 use crate::time::Timestamp;
 
@@ -73,6 +76,35 @@ pub trait Environment {
     /// Advances the environment's state to `now`. Called with monotonically
     /// non-decreasing timestamps.
     fn advance_to(&mut self, now: Timestamp);
+
+    /// Marks the start of an exclusively-owned batch of simulation work: the
+    /// runtime calls this at the top of every
+    /// [`run_until`](node::NodeRuntime::run_until) segment, on the one thread
+    /// that will drive the environment until the matching
+    /// [`end_batch`](Self::end_batch). Environments built from shared
+    /// interior-locked parts (e.g. a composite node whose substrates are
+    /// behind `sol-node-sim`'s `Shared` handles) use the pair to acquire
+    /// each part's lock
+    /// once per segment instead of once per call. The default is a no-op.
+    ///
+    /// Calls are idempotent: a second `begin_batch` before `end_batch` must
+    /// be tolerated (and changes nothing).
+    fn begin_batch(&mut self) {}
+
+    /// Closes the batch opened by [`begin_batch`](Self::begin_batch),
+    /// releasing any per-segment exclusivity. Called before `run_until`
+    /// returns, so cross-thread access between segments (fleet barriers,
+    /// telemetry, placement) observes an unlocked environment. The default is
+    /// a no-op.
+    fn end_batch(&mut self) {}
+
+    /// Heap bytes retained by the environment (buffer capacities included),
+    /// for the fleet layer's per-node memory accounting. The default reports
+    /// 0 ("not instrumented"); simulation substrates override it via their
+    /// [`MemoryFootprint`](sol_ml::footprint::MemoryFootprint) impls.
+    fn mem_bytes(&self) -> usize {
+        0
+    }
 
     /// Attaches a placeable workload unit. Called only between simulation
     /// segments (epoch boundaries), never mid-tick.
@@ -122,6 +154,18 @@ impl<E: Environment + ?Sized> Environment for &mut E {
         (**self).advance_to(now);
     }
 
+    fn begin_batch(&mut self) {
+        (**self).begin_batch();
+    }
+
+    fn end_batch(&mut self) {
+        (**self).end_batch();
+    }
+
+    fn mem_bytes(&self) -> usize {
+        (**self).mem_bytes()
+    }
+
     fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {
         (**self).attach_workload(unit)
     }
@@ -138,6 +182,18 @@ impl<E: Environment + ?Sized> Environment for &mut E {
 impl<E: Environment + ?Sized> Environment for Box<E> {
     fn advance_to(&mut self, now: Timestamp) {
         (**self).advance_to(now);
+    }
+
+    fn begin_batch(&mut self) {
+        (**self).begin_batch();
+    }
+
+    fn end_batch(&mut self) {
+        (**self).end_batch();
+    }
+
+    fn mem_bytes(&self) -> usize {
+        (**self).mem_bytes()
     }
 
     fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {

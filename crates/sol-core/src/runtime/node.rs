@@ -10,14 +10,15 @@
 //!
 //! # Design
 //!
-//! The runtime is a classic discrete-event simulator. A [`BinaryHeap`] holds
-//! three kinds of first-class events, ordered by (time, insertion sequence):
+//! The runtime is a classic discrete-event simulator. A two-level bucketed
+//! [`TimeWheel`] holds three kinds of first-class events, popped in exact
+//! (time, insertion sequence) order:
 //!
 //! * **Agent wakes** — the next time an agent's Model or Actuator loop needs
 //!   to run. Wake events are invalidated lazily: each agent slot carries a
 //!   generation counter, and a popped wake whose generation no longer matches
 //!   is discarded, so wakes that move (a delivered prediction, an injected
-//!   delay) never require searching the heap.
+//!   delay) never require searching the queue.
 //! * **Interventions** — scheduled disturbances targeted at a specific agent
 //!   ([`NodeRuntime::delay_model_at`], [`NodeRuntime::delay_actuator_at`]) or
 //!   at the environment ([`NodeRuntime::mutate_environment_at`]), mirroring
@@ -26,18 +27,20 @@
 //!   every `max_environment_step` of virtual time so workload dynamics are
 //!   never skipped over entirely between sparse agent wakes.
 //!
-//! Each tick pops the earliest valid event, advances the clock and the
-//! environment once to that time, applies every intervention that is due (in
+//! Each tick peeks the earliest valid event, advances the clock and the
+//! environment once to that time, drains the whole batch of events due at
+//! that time as one slice, applies every intervention that is due (in
 //! schedule order), then steps every due agent in registration order. The
 //! environment is only advanced when an event or a step boundary is actually
 //! due — there is no per-tick scan over agents or sorted intervention lists.
+//!
+//! [`TimeWheel`]: super::wheel::TimeWheel
 //!
 //! [`SimRuntime`](crate::runtime::sim::SimRuntime) is a thin single-agent
 //! wrapper over this runtime, and reproduces the historical single-agent
 //! results exactly.
 
 use std::any::Any;
-use std::collections::BinaryHeap;
 
 use sol_ml::exchange::{ExchangeError, LearnedState};
 
@@ -45,6 +48,7 @@ use crate::actuator::Actuator;
 use crate::error::{ReportError, RuntimeError};
 use crate::loops::{ActuatorLoop, ModelLoop};
 use crate::model::Model;
+use crate::runtime::wheel::TimeWheel;
 use crate::runtime::Environment;
 use crate::schedule::Schedule;
 use crate::stats::AgentStats;
@@ -282,8 +286,13 @@ enum Intervention<E> {
 
 /// What happens at a scheduled point of virtual time.
 ///
+/// Scheduling order is tracked by the [`TimeWheel`] itself (per-bucket
+/// insertion counters), not by the payload, so events pop earliest-time
+/// first with ties broken by schedule order — same-time interventions apply
+/// in the order they were scheduled.
+///
 /// The `max_environment_step` boundary is *not* an event: it moves on every
-/// tick, so keeping it in the heap would mean one stale entry per tick. It
+/// tick, so keeping it in the queue would mean one stale entry per tick. It
 /// lives in [`NodeRuntime::env_step_at`] and is merged into the tick time
 /// directly.
 enum EventKind<E> {
@@ -292,35 +301,6 @@ enum EventKind<E> {
     AgentWake { id: AgentId, gen: u64 },
     /// A scheduled disturbance.
     Intervention(Intervention<E>),
-}
-
-/// A heap entry: events pop earliest-time first, ties broken by insertion
-/// order so same-time interventions apply in the order they were scheduled.
-struct Event<E> {
-    at: Timestamp,
-    seq: u64,
-    kind: EventKind<E>,
-}
-
-impl<E> PartialEq for Event<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Event<E> {}
-
-impl<E> PartialOrd for Event<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Event<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// One registered agent plus its wake-scheduling state.
@@ -472,8 +452,10 @@ pub struct NodeRuntime<E: Environment + 'static> {
     clock: VirtualClock,
     environment: E,
     agents: Vec<AgentSlot<E>>,
-    events: BinaryHeap<Event<E>>,
-    next_seq: u64,
+    events: TimeWheel<EventKind<E>>,
+    /// Scratch buffer the tick loop drains due events into; reused across
+    /// ticks and across [`run_until`](Self::run_until) segments.
+    due: Vec<EventKind<E>>,
     /// Largest span of virtual time the environment may be advanced in one
     /// tick even when no agent event is due.
     max_env_step: SimDuration,
@@ -501,8 +483,8 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             clock: VirtualClock::new(),
             environment,
             agents: Vec::new(),
-            events: BinaryHeap::new(),
-            next_seq: 0,
+            events: TimeWheel::new(),
+            due: Vec::new(),
             max_env_step: MAX_DEFAULT_ENV_STEP,
             env_step_overridden: false,
             env_step_at: Timestamp::MAX,
@@ -748,14 +730,12 @@ impl<E: Environment + 'static> NodeRuntime<E> {
     }
 
     fn push_event(&mut self, at: Timestamp, kind: EventKind<E>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Event { at, seq, kind });
+        self.events.schedule(at, kind);
     }
 
-    /// Whether a popped/peeked event still reflects current state.
-    fn event_valid(agents: &[AgentSlot<E>], ev: &Event<E>) -> bool {
-        match ev.kind {
+    /// Whether a queued event still reflects current state.
+    fn event_valid(agents: &[AgentSlot<E>], kind: &EventKind<E>) -> bool {
+        match *kind {
             EventKind::AgentWake { id, gen } => agents[id.0].gen == gen,
             EventKind::Intervention(_) => true,
         }
@@ -810,11 +790,17 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             self.started = true;
         }
 
+        // One segment is driven by exactly one thread; let the environment
+        // acquire whatever per-part exclusivity it wants once for the whole
+        // batch instead of once per call (see [`Environment::begin_batch`]).
+        self.environment.begin_batch();
+
         // Agents touched by this tick's events (wakes popped, delays
         // applied); only they are step-checked and rescheduled, so a tick
-        // costs O(events at that time), not O(agents). The buffer is reused
-        // across every tick of the run.
+        // costs O(events at that time), not O(agents). Both scratch buffers
+        // are reused across every tick of the run.
         let mut touched = std::mem::take(&mut self.touched);
+        let mut due = std::mem::take(&mut self.due);
 
         loop {
             let now = self.clock.now();
@@ -824,16 +810,10 @@ impl<E: Environment + 'static> NodeRuntime<E> {
 
             // Earliest valid event (stale wakes are discarded on the way),
             // capped by the environment-step boundary.
-            let next = loop {
-                match self.events.peek() {
-                    None => break end.min(self.env_step_at),
-                    Some(ev) => {
-                        if Self::event_valid(&self.agents, ev) {
-                            break ev.at.min(self.env_step_at);
-                        }
-                        self.events.pop();
-                    }
-                }
+            let agents = &self.agents;
+            let next = match self.events.peek(|kind| Self::event_valid(agents, kind)) {
+                None => end.min(self.env_step_at),
+                Some(at) => at.min(self.env_step_at),
             };
             let next = next.max(now).min(end);
 
@@ -841,14 +821,14 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             self.clock.set(next);
             self.environment.advance_to(next);
 
-            // Batch-pop the whole run of events due at this tick (same
-            // timestamp, plus anything the clamp to `end` made due).
-            // Interventions apply in schedule order, before any agent steps.
-            // A delay intervention moves its target's wake, so the target
-            // needs rescheduling even if it was not due.
-            while self.events.peek().map(|ev| ev.at <= next).unwrap_or(false) {
-                let ev = self.events.pop().expect("peeked");
-                match ev.kind {
+            // Drain the whole run of events due at this tick as one batch
+            // slice (same timestamp, plus anything the clamp to `end` made
+            // due). Interventions apply in schedule order, before any agent
+            // steps. A delay intervention moves its target's wake, so the
+            // target needs rescheduling even if it was not due.
+            self.events.drain_due(next, &mut due);
+            for kind in due.drain(..) {
+                match kind {
                     EventKind::AgentWake { id, gen } => {
                         let slot = &mut self.agents[id.0];
                         if slot.gen == gen {
@@ -892,7 +872,15 @@ impl<E: Environment + 'static> NodeRuntime<E> {
             self.env_step_at = next + self.max_env_step;
         }
 
+        self.environment.end_batch();
         self.touched = touched;
+        self.due = due;
+    }
+
+    /// Heap bytes retained by this node: the event queue's slab capacity plus
+    /// whatever the environment reports (see [`Environment::mem_bytes`]).
+    pub fn mem_bytes(&self) -> usize {
+        self.events.mem_bytes() + self.environment.mem_bytes()
     }
 
     /// Consumes the runtime and returns the final state of the environment
@@ -1015,6 +1003,37 @@ mod tests {
         });
         let report = rt.run_for(SimDuration::from_secs(5)).unwrap();
         assert!(report.environment.fault);
+    }
+
+    #[test]
+    fn same_tick_interventions_apply_in_scheduling_order() {
+        // Two non-commuting mutations at the same timestamp: the wheel's
+        // per-bucket counters must preserve scheduling order exactly as the
+        // old global sequence number did ((x * 3) + 10, not (x + 10) * 3).
+        let run = |flipped: bool| {
+            let mut rt = NodeRuntime::new(StepEnv::default());
+            rt.register_agent("a", ConstModel { value: 1.0 }, CountActuator::default(), {
+                schedule(100)
+            });
+            let triple = |env: &mut StepEnv, _| env.advances *= 3;
+            let add_ten = |env: &mut StepEnv, _| env.advances += 10;
+            let at = Timestamp::from_secs(2);
+            if flipped {
+                rt.mutate_environment_at(at, add_ten);
+                rt.mutate_environment_at(at, triple);
+            } else {
+                rt.mutate_environment_at(at, triple);
+                rt.mutate_environment_at(at, add_ten);
+            }
+            // The run ends exactly at the intervention tick, so the final
+            // counter is the interventions' combined effect on the advance
+            // count N the run had accrued by then.
+            let report = rt.run_for(SimDuration::from_secs(2)).unwrap();
+            report.environment.advances
+        };
+        // Scheduling order: 3N + 10 vs (N + 10) * 3 = 3N + 30. Applying
+        // either pair in reverse would flip the +20 gap's sign.
+        assert_eq!(run(true), run(false) + 20);
     }
 
     #[test]

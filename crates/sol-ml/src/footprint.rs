@@ -1,0 +1,74 @@
+//! Memory accounting for long-lived simulation state.
+//!
+//! Opening very large fleet grids (the 65536-node cell) is bounded by
+//! per-node resident memory, not wall time alone. [`MemoryFootprint`] gives
+//! every stateful component a uniform, cheap way to report the heap bytes it
+//! retains, so a node can sum its substrates, the fleet layer can surface a
+//! per-node figure in its report, and the bench harness can track the number
+//! release over release instead of guessing from RSS.
+//!
+//! Implementations report *retained allocation*, not peak transient usage:
+//! the inline `size_of` of the value itself plus the capacity (not length) of
+//! every owned buffer. The figure is deterministic for a deterministic
+//! simulation, so it can ride inside byte-identical fleet reports.
+
+/// Heap bytes retained by a component, including buffer capacity that is
+/// allocated but not currently filled.
+pub trait MemoryFootprint {
+    /// Total bytes attributable to this value: its own `size_of` plus all
+    /// owned heap allocations at their capacity.
+    fn mem_bytes(&self) -> usize;
+}
+
+impl<T: MemoryFootprint + ?Sized> MemoryFootprint for &T {
+    fn mem_bytes(&self) -> usize {
+        (**self).mem_bytes()
+    }
+}
+
+impl<T: MemoryFootprint + ?Sized> MemoryFootprint for Box<T> {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + (**self).mem_bytes()
+    }
+}
+
+impl<T: MemoryFootprint> MemoryFootprint for Vec<T> {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(|x| x.mem_bytes() - std::mem::size_of::<T>()).sum::<usize>()
+    }
+}
+
+impl MemoryFootprint for f64 {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<f64>()
+    }
+}
+
+impl MemoryFootprint for u64 {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<f64> = Vec::with_capacity(16);
+        v.push(1.0);
+        assert_eq!(v.mem_bytes(), std::mem::size_of::<Vec<f64>>() + 16 * 8);
+    }
+
+    #[test]
+    fn nested_vec_sums_inner_allocations() {
+        let v: Vec<Vec<f64>> = vec![Vec::with_capacity(4), Vec::with_capacity(8)];
+        let expect = std::mem::size_of::<Vec<Vec<f64>>>()
+            + 2 * std::mem::size_of::<Vec<f64>>()
+            + (4 + 8) * 8;
+        assert_eq!(v.mem_bytes(), expect);
+    }
+}

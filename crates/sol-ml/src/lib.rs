@@ -14,7 +14,8 @@
 //!
 //! Supporting modules provide streaming statistics ([`online_stats`]),
 //! distributional feature extraction ([`features`]), deterministic sampling
-//! utilities ([`sampling`]), and the fleet learning plane's exchange surface
+//! utilities ([`sampling`]), memory accounting for large fleet grids
+//! ([`footprint`]), and the fleet learning plane's exchange surface
 //! ([`exchange`]): every learner exports/imports its parameters as a tagged
 //! flat-`f64` [`exchange::LearnedState`] that robust aggregation rules
 //! (coordinate-wise median, trimmed mean) can combine across nodes.
@@ -28,6 +29,7 @@
 pub mod cost_sensitive;
 pub mod exchange;
 pub mod features;
+pub mod footprint;
 pub mod linear;
 pub mod online_stats;
 pub mod qlearning;
@@ -41,6 +43,7 @@ pub mod prelude {
         AggregationRule, BlendPolicy, ExchangeError, LearnedExchange, LearnedState, StateKind,
     };
     pub use crate::features::{DistributionalFeatures, FeatureVector};
+    pub use crate::footprint::MemoryFootprint;
     pub use crate::linear::OnlineLinearRegression;
     pub use crate::online_stats::{Ewma, Histogram, RunningStats, SlidingWindow};
     pub use crate::qlearning::{ActionKind, ChosenAction, QConfig, QLearner};

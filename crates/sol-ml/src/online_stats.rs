@@ -236,6 +236,61 @@ impl Ewma {
     }
 }
 
+/// Selects the `n`-th order statistic in place, leaving `s` partitioned
+/// around it (`s[..n]` ≤ `s[n]` ≤ `s[n+1..]`).
+///
+/// Quickselect with a *three-way* (fat) partition: all elements equal to the
+/// pivot are grouped in one pass, so the duplicate-heavy windows the
+/// simulation produces (wait times that are mostly zero, latencies that are
+/// mostly the base value) collapse in one or two passes instead of the many
+/// unbalanced passes a binary-partition introselect pays on them. Falls back
+/// to `select_nth_unstable_by` if an adversarial pattern keeps the recursion
+/// from shrinking. NaN samples are not supported (the windows hold physical
+/// readings).
+fn select_nth(mut s: &mut [f64], mut n: usize) -> f64 {
+    let mut rounds = 0;
+    loop {
+        if s.len() <= 16 {
+            s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            return s[n];
+        }
+        rounds += 1;
+        if rounds > 64 {
+            let (_, &mut v, _) =
+                s.select_nth_unstable_by(n, |a, b| a.partial_cmp(b).expect("no NaN samples"));
+            return v;
+        }
+        // Median-of-three pivot: cheap, and exact on the constant-heavy
+        // windows where all three probes agree.
+        let (a, b, c) = (s[0], s[s.len() / 2], s[s.len() - 1]);
+        let pivot = a.max(b).min(a.min(b).max(c));
+        // Dutch-flag partition: s[..lt] < pivot, s[lt..gt] == pivot,
+        // s[gt..] > pivot.
+        let (mut lt, mut i, mut gt) = (0, 0, s.len());
+        while i < gt {
+            let v = s[i];
+            if v < pivot {
+                s.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if v > pivot {
+                gt -= 1;
+                s.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        if n < lt {
+            s = &mut s[..lt];
+        } else if n < gt {
+            return pivot;
+        } else {
+            s = &mut s[gt..];
+            n -= gt;
+        }
+    }
+}
+
 /// A sliding window over the last `capacity` samples with exact quantiles.
 ///
 /// Agents use this for safeguard signals such as "the P90 of α over the last
@@ -263,12 +318,21 @@ pub struct SlidingWindow {
 impl SlidingWindow {
     /// Creates a window holding at most `capacity` samples.
     ///
+    /// The backing buffer grows on demand rather than being reserved up
+    /// front, so short-lived or rarely-filled windows (fleet grids stamp out
+    /// hundreds of thousands of them) cost only what they actually hold.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        SlidingWindow { capacity, samples: VecDeque::with_capacity(capacity) }
+        SlidingWindow { capacity, samples: VecDeque::new() }
+    }
+
+    /// The maximum number of samples the window retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Adds a sample, evicting the oldest if the window is full.
@@ -319,22 +383,41 @@ impl SlidingWindow {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let pos = q * (sorted.len() - 1) as f64;
+        // Selection, not a full sort: agents query one quantile per call on
+        // windows of thousands of samples, so an expected-O(n) selection
+        // replaces the O(n log n) sort the hot safeguard paths used to pay.
+        // The two order statistics interpolate exactly as a sorted array
+        // would, so results are bit-identical to the sorting implementation.
+        let (front, back) = self.samples.as_slices();
+        let mut scratch = Vec::with_capacity(self.samples.len());
+        scratch.extend_from_slice(front);
+        scratch.extend_from_slice(back);
+        let pos = q * (scratch.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
+        let lo_v = select_nth(&mut scratch, lo);
         if lo == hi {
-            sorted[lo]
+            lo_v
         } else {
+            // After selection the slice is partitioned around index `lo`, so
+            // the hi-th order statistic is the minimum of the tail — rarely
+            // more than a handful of elements for the high quantiles agents
+            // ask for.
             let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            let hi_v = scratch[lo + 1..].iter().copied().fold(f64::INFINITY, f64::min);
+            lo_v * (1.0 - frac) + hi_v * frac
         }
     }
 
     /// Iterates over the samples from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.samples.iter().copied()
+    }
+}
+
+impl crate::footprint::MemoryFootprint for SlidingWindow {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.samples.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -409,9 +492,73 @@ impl Histogram {
     }
 }
 
+impl crate::footprint::MemoryFootprint for Histogram {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buckets.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::footprint::MemoryFootprint;
+
+    /// Sort-based reference for the selection-based `SlidingWindow::quantile`.
+    fn quantile_by_sort(samples: &[f64], q: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pos = q * (sorted.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    #[test]
+    fn window_quantile_matches_sorting_reference() {
+        // Varied, mostly-constant, and duplicate-heavy distributions, plus a
+        // wrapped ring buffer (push past capacity) so `as_slices` is
+        // exercised with a genuinely split deque.
+        let distributions: Vec<Vec<f64>> = vec![
+            (0..2000).map(|i| (i as f64 * 7.3).sin().abs()).collect(),
+            (0..1000).map(|i| if i % 40 == 0 { 20.0 + i as f64 } else { 20.0 }).collect(),
+            vec![1.0; 64],
+            (0..333).map(|i| f64::from(i % 7)).collect(),
+        ];
+        for data in distributions {
+            let mut w = SlidingWindow::new(512);
+            for &x in &data {
+                w.push(x);
+            }
+            let kept: Vec<f64> = w.iter().collect();
+            for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+                let got = w.quantile(q);
+                let want = quantile_by_sort(&kept, q);
+                assert_eq!(got, want, "q={q} over {} samples", kept.len());
+            }
+        }
+    }
+
+    #[test]
+    fn window_allocates_lazily_and_reports_footprint() {
+        let w = SlidingWindow::new(4096);
+        assert_eq!(w.capacity(), 4096);
+        // Nothing pushed yet: only the inline struct, no 32 KiB buffer.
+        assert_eq!(w.mem_bytes(), std::mem::size_of::<SlidingWindow>());
+        let mut w = w;
+        for i in 0..8192 {
+            w.push(i as f64);
+        }
+        assert_eq!(w.len(), 4096);
+        let bytes = w.mem_bytes();
+        assert!(
+            bytes >= std::mem::size_of::<SlidingWindow>() + 4096 * 8,
+            "full window must account for its buffer: {bytes}"
+        );
+    }
 
     #[test]
     fn running_stats_matches_direct_computation() {

@@ -43,6 +43,12 @@ pub struct Zipf {
     cumulative: Vec<f64>,
 }
 
+impl crate::footprint::MemoryFootprint for Zipf {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.cumulative.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 impl Zipf {
     /// Creates a Zipf distribution over `n` elements with exponent `s`.
     ///

@@ -11,6 +11,7 @@ use sol_core::error::DataError;
 use sol_core::runtime::placement::{NodePlacement, PlacementError, WorkloadId, WorkloadUnit};
 use sol_core::runtime::Environment;
 use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::footprint::MemoryFootprint;
 use sol_ml::sampling::seeded_rng;
 
 use crate::counters::{CounterSample, CpuCounters};
@@ -436,6 +437,17 @@ impl CpuNode {
     }
 }
 
+impl MemoryFootprint for CpuNode {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.config.available_ghz.capacity() * std::mem::size_of::<f64>()
+            + self.trace.capacity() * std::mem::size_of::<CpuTracePoint>()
+            + self.placed.capacity() * std::mem::size_of::<PlacedVm>()
+            + std::mem::size_of::<Box<dyn CpuWorkload>>()
+            + self.workload.mem_bytes()
+    }
+}
+
 impl Environment for CpuNode {
     fn advance_to(&mut self, now: Timestamp) {
         while self.now < now {
@@ -443,6 +455,10 @@ impl Environment for CpuNode {
             let dt = remaining.min(self.config.step);
             self.step_once(dt);
         }
+    }
+
+    fn mem_bytes(&self) -> usize {
+        MemoryFootprint::mem_bytes(self)
     }
 
     fn attach_workload(&mut self, unit: WorkloadUnit) -> Result<(), PlacementError> {

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use sol_core::runtime::Environment;
 use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::footprint::MemoryFootprint;
 use sol_ml::online_stats::SlidingWindow;
 
 /// A latency-sensitive service with bursty CPU demand, standing in for the
@@ -132,6 +133,10 @@ pub struct HarvestNodeConfig {
     pub step: SimDuration,
     /// Window length for the P99 wait-time safeguard signal.
     pub wait_window: usize,
+    /// Window length for the P99 request-latency signal. The default (4096)
+    /// matches the historical hardcoded window; large fleet grids can shrink
+    /// it to cut per-node memory (the window is the node's largest buffer).
+    pub latency_window: usize,
 }
 
 impl Default for HarvestNodeConfig {
@@ -141,6 +146,7 @@ impl Default for HarvestNodeConfig {
             min_primary_cores: 1,
             step: SimDuration::from_millis(1),
             wait_window: 2_000,
+            latency_window: 4_096,
         }
     }
 }
@@ -191,7 +197,7 @@ impl HarvestNode {
         );
         let primary = config.total_cores;
         HarvestNode {
-            latencies: SlidingWindow::new(4_096),
+            latencies: SlidingWindow::new(config.latency_window),
             wait_window: SlidingWindow::new(config.wait_window),
             config,
             service,
@@ -388,6 +394,19 @@ impl Environment for HarvestNode {
             let dt = remaining.min(self.config.step);
             self.step_once(dt);
         }
+    }
+
+    fn mem_bytes(&self) -> usize {
+        MemoryFootprint::mem_bytes(self)
+    }
+}
+
+impl MemoryFootprint for HarvestNode {
+    fn mem_bytes(&self) -> usize {
+        // The two latency windows are the node's only heap buffers.
+        std::mem::size_of::<Self>()
+            + (self.latencies.mem_bytes() - std::mem::size_of::<SlidingWindow>())
+            + (self.wait_window.mem_bytes() - std::mem::size_of::<SlidingWindow>())
     }
 }
 

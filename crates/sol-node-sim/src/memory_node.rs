@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use sol_core::error::DataError;
 use sol_core::runtime::Environment;
 use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::footprint::MemoryFootprint;
 use sol_ml::sampling::{seeded_rng, Zipf};
 
 /// Which memory tier a batch currently lives in.
@@ -586,6 +587,21 @@ impl Environment for MemoryNode {
             let dt = remaining.min(self.config.step);
             self.step_once(dt);
         }
+    }
+
+    fn mem_bytes(&self) -> usize {
+        MemoryFootprint::mem_bytes(self)
+    }
+}
+
+impl MemoryFootprint for MemoryNode {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.batches.capacity() * std::mem::size_of::<MemBatch>()
+            + self.permutation.capacity() * std::mem::size_of::<usize>()
+            + self.window.capacity() * std::mem::size_of::<(Timestamp, f64, f64)>()
+            + self.series.capacity() * std::mem::size_of::<RemoteFractionSample>()
+            + (MemoryFootprint::mem_bytes(&self.zipf) - std::mem::size_of::<Zipf>())
     }
 }
 

@@ -71,7 +71,7 @@ use sol_core::time::Timestamp;
 use crate::cpu_node::CpuNode;
 use crate::harvest_node::HarvestNode;
 use crate::memory_node::MemoryNode;
-use crate::shared::Shared;
+use crate::shared::{EnvGuard, Shared};
 
 /// A declared physical interaction between two substrates of a [`MultiNode`],
 /// applied before every environment advance.
@@ -192,8 +192,19 @@ impl MultiNodeBuilder {
             memory: self.memory,
             extras: self.extras,
             couplings: self.couplings,
+            scopes: None,
         })
     }
+}
+
+/// The substrate locks held open for one simulation segment (between
+/// [`Environment::begin_batch`] and [`Environment::end_batch`]): every
+/// `with` call from the driving thread — couplings, advances, agent
+/// model/actuator reads — rides these guards instead of re-locking.
+struct BatchScopes {
+    _cpu: Option<EnvGuard<CpuNode>>,
+    _harvest: Option<EnvGuard<HarvestNode>>,
+    _memory: Option<EnvGuard<MemoryNode>>,
 }
 
 /// One server hosting any set of co-located substrates, advanced in lockstep
@@ -204,6 +215,8 @@ pub struct MultiNode {
     memory: Option<Shared<MemoryNode>>,
     extras: Vec<Box<dyn Environment + Send>>,
     couplings: Vec<Coupling>,
+    /// Open substrate scopes while inside a `begin_batch`/`end_batch` pair.
+    scopes: Option<BatchScopes>,
 }
 
 impl std::fmt::Debug for MultiNode {
@@ -280,6 +293,27 @@ impl MultiNode {
 }
 
 impl Environment for MultiNode {
+    fn begin_batch(&mut self) {
+        if self.scopes.is_some() {
+            return;
+        }
+        self.scopes = Some(BatchScopes {
+            _cpu: self.cpu.as_ref().map(Shared::scope),
+            _harvest: self.harvest.as_ref().map(Shared::scope),
+            _memory: self.memory.as_ref().map(Shared::scope),
+        });
+        for extra in &mut self.extras {
+            extra.begin_batch();
+        }
+    }
+
+    fn end_batch(&mut self) {
+        for extra in &mut self.extras {
+            extra.end_batch();
+        }
+        self.scopes = None;
+    }
+
     fn advance_to(&mut self, now: Timestamp) {
         self.apply_couplings();
         if let Some(cpu) = &self.cpu {
@@ -317,6 +351,24 @@ impl Environment for MultiNode {
             Some(cpu) => cpu.with(|n| n.placement()),
             None => NodePlacement::none(),
         }
+    }
+
+    fn mem_bytes(&self) -> usize {
+        use sol_ml::footprint::MemoryFootprint;
+        let mut total = std::mem::size_of::<Self>();
+        if let Some(cpu) = &self.cpu {
+            total += MemoryFootprint::mem_bytes(cpu);
+        }
+        if let Some(harvest) = &self.harvest {
+            total += MemoryFootprint::mem_bytes(harvest);
+        }
+        if let Some(memory) = &self.memory {
+            total += MemoryFootprint::mem_bytes(memory);
+        }
+        for extra in &self.extras {
+            total += Environment::mem_bytes(&**extra);
+        }
+        total
     }
 }
 
@@ -529,6 +581,28 @@ mod tests {
             vec![Coupling::FrequencyToDemand, Coupling::FrequencyToMemoryBandwidth],
             "build() must canonicalize the coupling order"
         );
+    }
+
+    #[test]
+    fn batch_scopes_allow_same_thread_access_and_release_on_end() {
+        let (c, h) = (cpu(), harvest());
+        let mut node = MultiNode::builder()
+            .cpu(c.clone())
+            .harvest(h.clone())
+            .coupling(Coupling::FrequencyToDemand)
+            .build()
+            .unwrap();
+        node.begin_batch();
+        node.begin_batch(); // idempotent: a second begin changes nothing
+        node.advance_to(Timestamp::from_secs(1));
+        // Agent-style access from the driving thread rides the open scope.
+        c.lock().set_frequency_ghz(2.3);
+        node.advance_to(Timestamp::from_secs(2));
+        assert!((h.with(|n| n.core_speed_factor()) - 2.3 / 1.5).abs() < 1e-9);
+        node.end_batch();
+        // After end_batch other threads can lock the substrates again.
+        let c2 = c.clone();
+        std::thread::spawn(move || c2.lock().frequency_ghz()).join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use sol_core::time::{SimDuration, Timestamp};
+use sol_ml::footprint::MemoryFootprint;
 use sol_ml::online_stats::SlidingWindow;
 
 /// The CPU demand a workload places on the node during one step.
@@ -59,6 +60,12 @@ pub trait CpuWorkload: Send {
 
     /// Performance achieved so far.
     fn performance(&self) -> PerfReport;
+
+    /// Heap bytes retained by the workload's own buffers (its inline size is
+    /// accounted by whoever boxes it). The default reports 0.
+    fn mem_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Periodic compute-intensive batch workload (paper §6.2 "Synthetic").
@@ -187,6 +194,10 @@ impl CpuWorkload for SyntheticBatch {
             p99_latency_ms: None,
         }
     }
+
+    fn mem_bytes(&self) -> usize {
+        self.completions.capacity() * std::mem::size_of::<SimDuration>()
+    }
 }
 
 /// A distributed key-value store at high load (paper §6.2 "ObjectStore").
@@ -205,13 +216,25 @@ pub struct ObjectStore {
 }
 
 impl ObjectStore {
-    /// Creates an ObjectStore VM using `cores` cores at roughly 85 % load.
+    /// Creates an ObjectStore VM using `cores` cores at roughly 85 % load,
+    /// with the default 4096-sample P99 latency window.
     pub fn new(cores: usize) -> Self {
+        Self::with_window(cores, 4096)
+    }
+
+    /// Like [`new`](Self::new) with an explicit latency-window capacity. The
+    /// window is the workload's only heap buffer; large fleet grids shrink
+    /// it to cut per-node memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(cores: usize, window: usize) -> Self {
         ObjectStore {
             cores: cores as f64,
             load: 0.85,
             base_latency_ms: 2.0,
-            latencies: SlidingWindow::new(4096),
+            latencies: SlidingWindow::new(window),
             latency_sum: 0.0,
             latency_count: 0,
             requests_served: 0.0,
@@ -270,6 +293,10 @@ impl CpuWorkload for ObjectStore {
             metric: "1 / mean latency (1/ms)",
             p99_latency_ms: Some(self.p99_latency_ms()),
         }
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.latencies.mem_bytes() - std::mem::size_of::<SlidingWindow>()
     }
 }
 
@@ -363,6 +390,16 @@ impl OverclockWorkloadKind {
             OverclockWorkloadKind::Synthetic => Box::new(SyntheticBatch::paper_default(cores)),
             OverclockWorkloadKind::ObjectStore => Box::new(ObjectStore::new(cores)),
             OverclockWorkloadKind::DiskSpeed => Box::new(DiskSpeed::new(cores)),
+        }
+    }
+
+    /// Like [`build`](Self::build) with an explicit latency-window capacity
+    /// for the workloads that keep one ([`ObjectStore`]); the others ignore
+    /// it. `build` is `build_with_window(cores, 4096)`.
+    pub fn build_with_window(self, cores: usize, window: usize) -> Box<dyn CpuWorkload> {
+        match self {
+            OverclockWorkloadKind::ObjectStore => Box::new(ObjectStore::with_window(cores, window)),
+            other => other.build(cores),
         }
     }
 

@@ -91,9 +91,10 @@ impl TestRunner {
 /// Everything a `proptest!` block needs in scope.
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
     };
 }
 
@@ -142,6 +143,20 @@ macro_rules! __proptest_items {
             }
         }
         $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// A weighted choice between strategies yielding one value type
+/// (`proptest::prop_oneof!`). Weights are optional; unweighted arms weigh 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, ::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 
