@@ -14,8 +14,12 @@
 //! * [`PoisonAttack`] selects the corruption: [`PoisonAttack::SignFlip`]
 //!   negates and amplifies every parameter (turning "learned to avoid X" into
 //!   an emphatic "do X"), [`PoisonAttack::Noise`] adds seeded deterministic
-//!   noise, and [`PoisonAttack::Honest`] passes state through unchanged so
-//!   clean and poisoned fleets stamp out structurally identical nodes.
+//!   noise, [`PoisonAttack::Intermittent`] sign-flips only every k-th export
+//!   (an on-off adversary probing detectors that forget), and
+//!   [`PoisonAttack::Stealth`] applies a small multiplicative drift that
+//!   stays inside the trimmed-aggregation bounds. [`PoisonAttack::Honest`]
+//!   passes state through unchanged so clean and poisoned fleets stamp out
+//!   structurally identical nodes.
 //! * [`PoisonPlan`] picks distinct victim nodes as a pure function of a seed,
 //!   mirroring [`FaultPlan::generate`](sol_core::runtime::lifecycle::FaultPlan::generate).
 //! * [`poisoned_overclock_recipe`] packages the canonical demonstration: a
@@ -26,6 +30,8 @@
 //! Everything here is deterministic: the same seeds yield the same victims
 //! and the same corrupted bytes, so fleet reports stay byte-identical across
 //! worker-thread counts even under attack.
+
+use std::cell::Cell;
 
 use sol_core::error::DataError;
 use sol_core::model::{Model, ModelAssessment};
@@ -79,6 +85,27 @@ pub enum PoisonAttack {
         /// Noise amplitude.
         scale: f64,
     },
+    /// Pure negation (`v ↦ -v`), but only on every `every_k`-th export; the
+    /// rest pass through honestly. An on-off adversary that probes detectors
+    /// with short memories: each poisoned round is separated by enough honest
+    /// ones that naive "last round looked fine" logic forgives it. The export
+    /// counter lives on the wrapper, so the firing pattern is a pure function
+    /// of how many exports the node has produced — deterministic across
+    /// worker-thread counts.
+    Intermittent {
+        /// Firing period in exports: the k-th, 2k-th, … exports are
+        /// corrupted. `0` is treated as `1` (every export fires).
+        every_k: u64,
+    },
+    /// Scales every parameter by a small multiplicative `gain` close to 1.
+    /// Unlike [`PoisonAttack::SignFlip`] this keeps each coordinate inside
+    /// (or near) the honest spread, so trimmed aggregation does not discard
+    /// it as an outlier — the attack relies on persistent low-magnitude drift
+    /// rather than one large lie.
+    Stealth {
+        /// Multiplicative gain (1.0 = honest passthrough).
+        gain: f64,
+    },
 }
 
 impl PoisonAttack {
@@ -128,6 +155,11 @@ pub struct PoisonedLearner<M> {
     inner: M,
     attack: PoisonAttack,
     salt: u64,
+    /// Exports produced so far, driving [`PoisonAttack::Intermittent`]'s
+    /// firing pattern. A `Cell` because [`Model::export_learned`] takes
+    /// `&self`; exports happen at deterministic simulation points, so the
+    /// count (and thus the pattern) is thread-schedule independent.
+    exports: Cell<u64>,
 }
 
 impl<M> PoisonedLearner<M> {
@@ -135,7 +167,7 @@ impl<M> PoisonedLearner<M> {
     /// unused by the other attacks but always kept, so switching attacks
     /// never changes a scenario's structure).
     pub fn new(inner: M, attack: PoisonAttack, salt: u64) -> Self {
-        PoisonedLearner { inner, attack, salt }
+        PoisonedLearner { inner, attack, salt, exports: Cell::new(0) }
     }
 
     /// The wrapped model.
@@ -169,6 +201,15 @@ impl<M> PoisonedLearner<M> {
                     })
                     .collect()
             }
+            PoisonAttack::Intermittent { every_k } => {
+                let produced = self.exports.get() + 1;
+                self.exports.set(produced);
+                if !produced.is_multiple_of(every_k.max(1)) {
+                    return Some(state);
+                }
+                state.values().iter().map(|v| -v).collect()
+            }
+            PoisonAttack::Stealth { gain } => state.values().iter().map(|v| gain * v).collect(),
         };
         // An attack that overflows to a non-finite value would be rejected by
         // the aggregation layer anyway; dropping the export keeps the wrapper
@@ -400,6 +441,8 @@ pub fn poisoned_overclock_recipe(base: PoisonedOverclockConfig) -> PoisonedOverc
 mod tests {
     use super::*;
     use sol_core::model::Model;
+    use sol_core::time::SimDuration;
+    use sol_ml::exchange::{AggregationRule, StateKind};
 
     fn model() -> crate::overclock::OverclockModel {
         let node = Shared::new(CpuNode::new(
@@ -407,6 +450,42 @@ mod tests {
             CpuNodeConfig::default(),
         ));
         smart_overclock(&node, OverclockConfig::default()).0
+    }
+
+    /// A model whose only interesting behaviour is exporting a fixed
+    /// [`LearnedState`] — lets attack tests pick distinctive values instead
+    /// of relying on whatever a freshly seeded Q-learner happens to hold.
+    struct FixedExport(LearnedState);
+
+    impl Model for FixedExport {
+        type Data = f64;
+        type Pred = f64;
+
+        fn collect_data(&mut self, _now: Timestamp) -> Result<f64, DataError> {
+            Ok(0.0)
+        }
+        fn validate_data(&self, _sample: &f64) -> bool {
+            true
+        }
+        fn commit_data(&mut self, _now: Timestamp, _sample: f64) {}
+        fn update_model(&mut self, _now: Timestamp) {}
+        fn predict(&mut self, _now: Timestamp) -> Option<Prediction<f64>> {
+            None
+        }
+        fn default_predict(&self, now: Timestamp) -> Prediction<f64> {
+            Prediction::fallback(0.0, now, now + SimDuration::from_secs(1))
+        }
+        fn assess_model(&mut self, _now: Timestamp) -> ModelAssessment {
+            ModelAssessment::Healthy
+        }
+        fn export_learned(&self) -> Option<LearnedState> {
+            Some(self.0.clone())
+        }
+    }
+
+    fn fixed(values: Vec<f64>) -> FixedExport {
+        let shape = vec![values.len()];
+        FixedExport(LearnedState::new(StateKind::QTable, shape, values).unwrap())
     }
 
     #[test]
@@ -472,5 +551,73 @@ mod tests {
         }
         // Joiners past the planned population are always honest.
         assert!(plan.attack_for(100, attack).is_honest());
+    }
+
+    #[test]
+    fn intermittent_fires_on_every_kth_export() {
+        let attack = PoisonAttack::Intermittent { every_k: 3 };
+        assert!(!attack.is_honest());
+        let honest = vec![1.0, -2.0, 0.5];
+        let wrapped = PoisonedLearner::new(fixed(honest.clone()), attack, 9);
+        for round in 1..=9u64 {
+            let exported = wrapped.export_learned().unwrap();
+            let expect: Vec<f64> =
+                if round % 3 == 0 { honest.iter().map(|v| -v).collect() } else { honest.clone() };
+            assert_eq!(exported.values(), &expect[..], "export #{round}");
+        }
+        // A zero period degrades to "every export fires" instead of a
+        // division by zero.
+        let always = PoisonedLearner::new(
+            fixed(honest.clone()),
+            PoisonAttack::Intermittent { every_k: 0 },
+            9,
+        );
+        let exported = always.export_learned().unwrap();
+        assert!(honest.iter().zip(exported.values()).all(|(h, c)| *c == -h));
+    }
+
+    #[test]
+    fn stealth_scales_every_parameter() {
+        let attack = PoisonAttack::Stealth { gain: 1.05 };
+        assert!(!attack.is_honest());
+        let honest = vec![1.0, -2.0, 0.5];
+        let wrapped = PoisonedLearner::new(fixed(honest.clone()), attack, 9);
+        let exported = wrapped.export_learned().unwrap();
+        assert_eq!(exported.kind(), StateKind::QTable);
+        assert!(honest.iter().zip(exported.values()).all(|(h, c)| *c == 1.05 * h));
+        // The attack is stationary: every export carries the same drift.
+        assert_eq!(wrapped.export_learned(), wrapped.export_learned());
+    }
+
+    /// Regression: with a strict honest majority, coordinate-wise median
+    /// aggregation contains both new attack modes — the aggregate stays
+    /// inside the honest spread on every coordinate, in both an intermittent
+    /// poisoner's firing round and under persistent stealth drift.
+    #[test]
+    fn median_contains_intermittent_and_stealth_minorities() {
+        let honest: Vec<Vec<f64>> =
+            (0..5).map(|i| vec![1.0 + 0.01 * i as f64, -2.0 - 0.01 * i as f64]).collect();
+        // `every_k: 1` pins the intermittent attacker to its worst case
+        // (firing this round); stealth drifts persistently either way.
+        let attackers =
+            [PoisonAttack::Intermittent { every_k: 1 }, PoisonAttack::Stealth { gain: 1.5 }];
+        let mut exports: Vec<LearnedState> =
+            honest.iter().map(|v| fixed(v.clone()).export_learned().unwrap()).collect();
+        for (i, attack) in attackers.into_iter().enumerate() {
+            let wrapped = PoisonedLearner::new(fixed(honest[i].clone()), attack, 9);
+            exports.push(wrapped.export_learned().unwrap());
+        }
+        for rule in [AggregationRule::CoordinateWiseMedian, AggregationRule::TrimmedMean { k: 2 }] {
+            let aggregate = rule.aggregate(&exports).unwrap();
+            for (coord, agg) in aggregate.values().iter().enumerate() {
+                let column: Vec<f64> = honest.iter().map(|v| v[coord]).collect();
+                let lo = column.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = column.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                assert!(
+                    (lo..=hi).contains(agg),
+                    "{rule:?} coordinate {coord}: aggregate {agg} escaped honest [{lo}, {hi}]"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! Trust-plane detection quality: how fast the fleet identifies persistent
+//! sign-flip poisoners, and what it costs honest nodes, at 64 and 256 nodes.
+//!
+//! Two fleets per size, same shape and default [`TrustPolicy`]: a poisoned
+//! one (one victim per eight nodes, sign-flip ×4 exports) measuring detection
+//! latency — the worst victim's scored-round count, since scoring stops at
+//! quarantine — and a clean one measuring the false-positive floor. Honest
+//! nodes flagged in either run count as false positives.
+//!
+//! The rows are merged into the committed `BENCH_fleet.json` artifact under
+//! `trust_*` keys. The keys deliberately do not collide with the fleet
+//! scaling rows' `nodes`/`threads`/`wall_ms_per_node_minute` cells, so the
+//! trajectory diff (`compare_fleet_rows`) skips them by construction.
+//!
+//! Quick-mode knobs:
+//! * `SOL_TRUST_HORIZON_SECS` — virtual horizon per fleet run (default 60).
+//!
+//! [`TrustPolicy`]: sol_core::runtime::trust::TrustPolicy
+
+use std::time::Instant;
+
+use sol_agents::poison::{poisoned_overclock_recipe, PoisonAttack, PoisonedOverclockConfig};
+use sol_bench::report::{env_u64, fmt, json_rows, pct, print_table};
+use sol_bench::trajectory::merge_artifact_rows;
+use sol_core::prelude::*;
+use sol_ml::exchange::{AggregationRule, BlendPolicy};
+
+const SCHEMA_VERSION: f64 = 2.0;
+const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+const FLEET_SEED: u64 = 0x1EA2;
+
+fn run(nodes: usize, victims: usize, horizon_secs: u64) -> (FleetReport, Vec<usize>) {
+    let preset = poisoned_overclock_recipe(PoisonedOverclockConfig {
+        victims,
+        attack: PoisonAttack::SignFlip { gain: 4.0 },
+        nodes,
+        ..PoisonedOverclockConfig::default()
+    });
+    let config = FleetConfig {
+        nodes,
+        threads: 8,
+        seed: FLEET_SEED,
+        learning: Some(LearningPlane {
+            exchange_every: 5,
+            rule: AggregationRule::CoordinateWiseMedian,
+            blend: BlendPolicy::Replace,
+        }),
+        trust: Some(TrustPolicy::default()),
+        ..FleetConfig::default()
+    };
+    let report = FleetRuntime::new(preset.recipe, config)
+        .expect("trust bench config is valid")
+        .run(SimDuration::from_secs(horizon_secs))
+        .expect("trust bench fleet runs");
+    (report, preset.plan.victims().to_vec())
+}
+
+fn main() {
+    let horizon_secs = env_u64("SOL_TRUST_HORIZON_SECS", 60).max(1);
+
+    let mut json: Vec<Vec<(&str, f64)>> = Vec::new();
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for nodes in [64usize, 256] {
+        let victims = nodes / 8;
+        let start = Instant::now();
+        let (poisoned, victim_set) = run(nodes, victims, horizon_secs);
+        let (clean, _) = run(nodes, 0, horizon_secs);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // Worst-case detection latency: a quarantined node stops being
+        // scored, so its scored-round count is the rounds the detector needed.
+        let detect_rounds = poisoned
+            .nodes
+            .iter()
+            .filter(|n| victim_set.contains(&n.node))
+            .map(|n| n.trust.rounds_scored)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            poisoned.trust.quarantines, victims as u64,
+            "{nodes}-node bench fleet must quarantine every victim"
+        );
+
+        // False positives: honest nodes flagged in either run. The clean
+        // fleet contributes its entire population; the poisoned one its
+        // honest majority.
+        let flagged = |report: &FleetReport, victims: &[usize]| {
+            report
+                .nodes
+                .iter()
+                .filter(|n| !victims.contains(&n.node))
+                .filter(|n| n.trust.verdict != TrustVerdict::Trusted)
+                .count()
+        };
+        let false_positives = flagged(&poisoned, &victim_set) + flagged(&clean, &[]);
+        let honest_population = (nodes - victims) + nodes;
+        let fp_rate = false_positives as f64 / honest_population as f64;
+
+        json.push(vec![
+            ("schema_version", SCHEMA_VERSION),
+            ("trust_nodes", nodes as f64),
+            ("trust_victims", victims as f64),
+            ("trust_detect_rounds", detect_rounds as f64),
+            ("trust_quarantines", poisoned.trust.quarantines as f64),
+            ("trust_false_positive_rate", fp_rate),
+            ("trust_wall_ms", wall_ms),
+        ]);
+        table.push(vec![
+            nodes.to_string(),
+            victims.to_string(),
+            detect_rounds.to_string(),
+            format!("{}/{}", poisoned.trust.quarantines, victims),
+            pct(fp_rate),
+            fmt(wall_ms),
+        ]);
+    }
+
+    let existing = std::fs::read_to_string(ARTIFACT).unwrap_or_else(|_| "[\n]\n".to_string());
+    match merge_artifact_rows(&existing, &json_rows(&json), "trust_nodes")
+        .and_then(|merged| std::fs::write(ARTIFACT, merged).map_err(|e| e.to_string()))
+    {
+        Ok(()) => eprintln!("merged {} trust rows into {ARTIFACT}", json.len()),
+        Err(e) => eprintln!("could not update {ARTIFACT}: {e}"),
+    }
+
+    print_table(
+        "Trust plane: sign-flip detection latency and false-positive floor",
+        &["Nodes", "Victims", "Detect rounds", "Quarantined", "FP rate", "Wall ms"],
+        &table,
+    );
+}

@@ -288,6 +288,37 @@ mod tests {
         assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
     }
 
+    /// The trust bench's rows are keyed `trust_nodes` and carry none of the
+    /// fleet cells' required fields, so the fleet diff skips them by
+    /// construction — detection latency may move freely (it measures the
+    /// adversary, not the runtime) without ever reading as a perf regression,
+    /// and a fleet merge never claims them.
+    #[test]
+    fn trust_rows_are_invisible_to_the_fleet_diff() {
+        let trust = |rounds: f64| {
+            BenchRow::from([
+                ("schema_version".to_string(), Some(2.0)),
+                ("trust_nodes".to_string(), Some(64.0)),
+                ("trust_victims".to_string(), Some(8.0)),
+                ("trust_detect_rounds".to_string(), Some(rounds)),
+                ("trust_false_positive_rate".to_string(), Some(0.0)),
+            ])
+        };
+        let parent = vec![row(8.0, 1.0, 10.0), trust(4.0)];
+        let branch = vec![row(8.0, 1.0, 10.5), trust(400.0)];
+        assert!(compare_fleet_rows(&parent, &branch, 0.2).is_empty());
+
+        // And the merge keeps them byte-intact under a fleet-row refresh.
+        let existing = "[\n{\"nodes\": 8, \"threads\": 1, \"wall_ms_per_node_minute\": 10},\n\
+                        {\"trust_nodes\": 64, \"trust_detect_rounds\": 4}\n]\n";
+        let fresh = "[\n{\"nodes\": 8, \"threads\": 1, \"wall_ms_per_node_minute\": 11}\n]\n";
+        let merged = merge_artifact_rows(existing, fresh, "nodes").unwrap();
+        let rows = parse_rows(&merged).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["trust_detect_rounds"], Some(4.0));
+        assert_eq!(rows[1]["wall_ms_per_node_minute"], Some(11.0));
+    }
+
     fn walled(nodes: f64, threads: f64, per_node: f64, wall: f64) -> BenchRow {
         let mut r = row(nodes, threads, per_node);
         r.insert("wall_ms_per_virtual_minute".to_string(), Some(wall));

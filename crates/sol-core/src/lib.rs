@@ -121,6 +121,9 @@ pub mod prelude {
     pub use crate::runtime::replay::{ReplayDriver, ReplayEntry};
     pub use crate::runtime::sim::{SimReport, SimRuntime};
     pub use crate::runtime::threaded::{leaked_threads, run_agent, ThreadedAgent, ThreadedReport};
+    pub use crate::runtime::trust::{
+        NodeTrustRecord, TrustAction, TrustPolicy, TrustStats, TrustVerdict,
+    };
     pub use crate::runtime::{Environment, NullEnvironment};
     pub use crate::schedule::Schedule;
     pub use crate::stats::AgentStats;

@@ -50,6 +50,13 @@
 //! redistributes them between the lifecycle and placement phases — see the
 //! [`learning`](crate::runtime::learning) module.
 //!
+//! An opt-in [`TrustPolicy`] ([`FleetConfig::trust`]) arms that exchange:
+//! every round the coordinator scores each participant's export against the
+//! post-aggregation consensus, excludes suspects from the fold, and — once
+//! suspicion persists — quarantines the node by issuing a lifecycle `Drain`
+//! at the next barrier, so a persistently poisoned node is not merely
+//! outvoted but removed — see the [`trust`](crate::runtime::trust) module.
+//!
 //! # Determinism
 //!
 //! A fleet run is a pure function of `(recipe, FleetConfig, horizon)`:
@@ -141,6 +148,7 @@ use crate::runtime::placement::{
     AgentTelemetry, FleetCommand, FleetController, FleetView, NodeDelta, NodeInit, NodePlacement,
     NodeView, NullController, PlacementPlan, WorkloadId, WorkloadUnit,
 };
+use crate::runtime::trust::{NodeTrustRecord, TrustAction, TrustPlane, TrustPolicy, TrustStats};
 use crate::runtime::Environment;
 use crate::stats::AgentStats;
 use crate::time::{SimDuration, Timestamp};
@@ -238,6 +246,13 @@ pub struct FleetConfig {
     /// the blend — see the [`learning`](crate::runtime::learning) module.
     /// `None` (the default) runs the fleet with no model exchange.
     pub learning: Option<LearningPlane>,
+    /// Optional trust plane (requires [`learning`](Self::learning)): when
+    /// set, every exchange round scores each participant's export against
+    /// the consensus, excludes suspects from aggregation, and drains
+    /// persistently divergent nodes — see the
+    /// [`trust`](crate::runtime::trust) module. `None` (the default) runs
+    /// the learning plane with containment only.
+    pub trust: Option<TrustPolicy>,
 }
 
 impl Default for FleetConfig {
@@ -248,6 +263,7 @@ impl Default for FleetConfig {
             epoch: SimDuration::from_secs(1),
             seed: 0x501_f1ee7,
             learning: None,
+            trust: None,
         }
     }
 }
@@ -282,6 +298,11 @@ pub struct FleetNodeReport {
     /// when it retired), the record version, and the join/update epochs.
     /// [`NodeRecord::initial`] for a node that saw no lifecycle events.
     pub lifecycle: NodeRecord,
+    /// The node's final trust record: accumulated suspicion, divergence
+    /// counters, and the verdict the trust plane ended on.
+    /// [`NodeTrustRecord::initial`] for a run without a
+    /// [`TrustPolicy`](FleetConfig::trust).
+    pub trust: NodeTrustRecord,
     /// The virtual time at which the node stopped. For a crashed or drained
     /// node this is the boundary at which it retired, measured on the node's
     /// own clock (which starts at zero when the node joins).
@@ -455,6 +476,10 @@ pub struct FleetReport {
     /// Learning-plane outcomes (all-zero when [`FleetConfig::learning`] is
     /// `None`).
     pub learning: LearningStats,
+    /// Trust-plane outcomes (all-zero when [`FleetConfig::trust`] is
+    /// `None`). Per-node scores and verdicts live on each
+    /// [`FleetNodeReport::trust`].
+    pub trust: TrustStats,
     /// The virtual time at which the fleet stopped (identical on every node).
     pub ended_at: Timestamp,
     /// Number of epoch-boundary synchronizations the run performed (the
@@ -571,8 +596,10 @@ impl<E: Environment + 'static> FleetRuntime<E> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] if `nodes` or `threads` is
-    /// zero, if `epoch` is zero, or if the learning plane is degenerate
-    /// (`exchange_every` of zero, or a blend weight outside `[0, 1]`).
+    /// zero, if `epoch` is zero, if the learning plane is degenerate
+    /// (`exchange_every` of zero, or a blend weight outside `[0, 1]`), or if
+    /// a trust policy is configured without a learning plane or with
+    /// degenerate thresholds.
     pub fn new(recipe: ScenarioRecipe<E>, config: FleetConfig) -> Result<Self, RuntimeError> {
         if config.nodes == 0 {
             return Err(RuntimeError::InvalidConfig(
@@ -589,6 +616,16 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         }
         if let Some(plane) = &config.learning {
             plane.validate().map_err(|e| RuntimeError::InvalidConfig(format!("fleet {e}")))?;
+        }
+        if let Some(policy) = &config.trust {
+            if config.learning.is_none() {
+                return Err(RuntimeError::InvalidConfig(
+                    "fleet trust policy requires a learning plane: there is nothing to score \
+                     without exchange rounds"
+                        .into(),
+                ));
+            }
+            policy.validate().map_err(|e| RuntimeError::InvalidConfig(format!("fleet {e}")))?;
         }
         // The recipe is shared by reference from here on: worker threads and
         // per-node runs borrow the same allocation instead of cloning the
@@ -707,6 +744,13 @@ impl<E: Environment + 'static> FleetRuntime<E> {
         // mirror, the latest per-role aggregates, and the run's counters.
         let mut exchange =
             self.config.learning.map(|plane| LearningExchange::new(plane, self.config.nodes));
+        // The trust plane's engine (config validation guarantees it never
+        // exists without the exchange it scores), plus the quarantine
+        // hand-off: drains issued by round `k`'s scoring are applied in
+        // barrier `k+1`'s lifecycle phase, because scoring runs after the
+        // current barrier's lifecycle phase already completed.
+        let mut trust = self.config.trust.map(|policy| TrustPlane::new(policy, self.config.nodes));
+        let mut trust_drains: Vec<usize> = Vec::new();
 
         // The slot arena: one persistent, mutex-guarded slot per node index,
         // shared between the coordinator and whichever worker claims the
@@ -919,9 +963,27 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         break 'protocol;
                     }
                 }
+                // Trust-plane quarantines flow through the same lifecycle
+                // machinery as controller drains, one barrier after the
+                // round that issued them (scoring runs after this phase).
+                // The indices were collected in ascending node order. A node
+                // the controller crashed or drained in the meantime is
+                // skipped: the quarantine's intent — get the node out of the
+                // fleet — is already satisfied, and its exports stay
+                // excluded either way.
+                for node in trust_drains.drain(..) {
+                    if registry.records()[node].state == NodeState::Active {
+                        registry
+                            .transition(node, NodeState::Draining, epoch)
+                            .expect("active -> draining is legal");
+                    }
+                }
                 occupancy_sums.resize(registry.len(), 0.0);
                 if let Some(exchange) = exchange.as_mut() {
                     exchange.grow(registry.len());
+                }
+                if let Some(trust) = trust.as_mut() {
+                    trust.grow(registry.len());
                 }
 
                 retiring.sort_unstable();
@@ -973,7 +1035,28 @@ impl<E: Environment + 'static> FleetRuntime<E> {
                         let live: Vec<usize> = (0..registry.len())
                             .filter(|&index| registry.records()[index].state.is_live())
                             .collect();
-                        exchange.round(&live);
+                        // Trust gate: suspects' and quarantined nodes'
+                        // exports are withheld from the fold. Verdicts are
+                        // the ones standing at the start of the round, so
+                        // exclusion is a pure function of earlier rounds.
+                        let participants: Vec<usize> = match trust.as_mut() {
+                            Some(trust) => trust.participants(&live),
+                            None => live.clone(),
+                        };
+                        exchange.round(&participants);
+                        // Score the round: every live node's mirrored export
+                        // (withheld ones included — measured against the
+                        // consensus they no longer vote on) against the
+                        // fresh aggregates, in node-index order. Quarantine
+                        // verdicts queue a Drain for the next barrier's
+                        // lifecycle phase.
+                        if let Some(trust) = trust.as_mut() {
+                            for action in trust.evaluate(epoch, &live, exchange) {
+                                if let TrustAction::Quarantine { node, .. } = action {
+                                    trust_drains.push(node);
+                                }
+                            }
+                        }
                         let blend = exchange.plane().blend;
                         let aggregates: Vec<Option<LearnedState>> = exchange.aggregates().to_vec();
                         for &node in &live {
@@ -1266,10 +1349,14 @@ impl<E: Environment + 'static> FleetRuntime<E> {
             node_reports.into_iter().map(|r| r.expect("every node reported")).collect();
         for node in &mut nodes {
             node.lifecycle = registry.records()[node.node];
+            if let Some(trust) = &trust {
+                node.trust = trust.record(node.node);
+            }
         }
         let ended_at = *boundaries.last().expect("non-empty epoch grid");
         let learning = exchange.map(|e| e.stats()).unwrap_or_default();
-        aggregate(nodes, boundaries.len() as u64, placement, learning, ended_at)
+        let trust = trust.map(|t| t.stats()).unwrap_or_default();
+        aggregate(nodes, boundaries.len() as u64, placement, learning, trust, ended_at)
     }
 
     /// Runs the fleet under a [`FleetController`] while a seeded
@@ -1763,6 +1850,9 @@ fn summarize<E: Environment + 'static>(
         // final record over it, which is byte-identical for a node that saw
         // no lifecycle events — keeping [`FleetRuntime::run_node`] exact.
         lifecycle: NodeRecord::initial(seed.index() as usize),
+        // Same contract as `lifecycle`: the coordinator stamps the trust
+        // plane's final record over this when one is configured.
+        trust: NodeTrustRecord::initial(seed.index() as usize),
         ended_at: report.ended_at,
         mem_bytes,
     }
@@ -1781,6 +1871,7 @@ fn aggregate(
     epochs: u64,
     placement: PlacementStats,
     learning: LearningStats,
+    trust: TrustStats,
     ended_at: Timestamp,
 ) -> Result<FleetReport, RuntimeError> {
     let first = &nodes[0];
@@ -1881,6 +1972,7 @@ fn aggregate(
         metrics,
         placement,
         learning,
+        trust,
         ended_at,
         epochs,
         mem_bytes_per_node,

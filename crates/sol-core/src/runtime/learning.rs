@@ -104,6 +104,12 @@ pub struct LearningStats {
     /// Total payload exchanged, in bytes of `f64` values, counting both
     /// directions (node exports absorbed plus aggregates redistributed).
     pub bytes_exchanged: u64,
+    /// The redistribution share of [`bytes_exchanged`](Self::bytes_exchanged):
+    /// bytes of blended aggregates imported back into nodes (running rounds
+    /// and joiner warm-starts alike). `bytes_exchanged − bytes_redistributed`
+    /// is therefore the export direction, so the two counters together
+    /// answer which way a learning fleet's bandwidth actually flows.
+    pub bytes_redistributed: u64,
     /// States excluded from aggregation or redistribution because their kind
     /// or shape disagreed with the role's reference state, plus imports the
     /// receiving model refused.
@@ -126,6 +132,7 @@ impl LearningStats {
             rounds,
             participants,
             bytes_exchanged,
+            bytes_redistributed,
             rejected,
             redistributed,
             warm_starts,
@@ -133,6 +140,7 @@ impl LearningStats {
         self.rounds += rounds;
         self.participants += participants;
         self.bytes_exchanged += bytes_exchanged;
+        self.bytes_redistributed += bytes_redistributed;
         self.rejected += rejected;
         self.redistributed += redistributed;
         self.warm_starts += warm_starts;
@@ -270,6 +278,7 @@ impl LearningExchange {
     pub(crate) fn record_import(&mut self, node: usize, slot: usize, state: LearnedState) {
         self.stats.redistributed += 1;
         self.stats.bytes_exchanged += state.byte_len() as u64;
+        self.stats.bytes_redistributed += state.byte_len() as u64;
         let row = &mut self.mirror[node];
         if row.len() <= slot {
             row.resize(slot + 1, None);
@@ -396,6 +405,8 @@ mod tests {
         let stats = exchange.stats();
         assert_eq!(stats.redistributed, 1);
         assert_eq!(stats.bytes_exchanged, 2 * 2 * 8);
+        // Only the import direction counts as redistribution traffic.
+        assert_eq!(stats.bytes_redistributed, 2 * 8);
     }
 
     #[test]
@@ -415,9 +426,10 @@ mod tests {
             rounds: 1,
             participants: 2,
             bytes_exchanged: 3,
-            rejected: 4,
-            redistributed: 5,
-            warm_starts: 6,
+            bytes_redistributed: 4,
+            rejected: 5,
+            redistributed: 6,
+            warm_starts: 7,
         };
         let mut total = a;
         total.accumulate(&a);
@@ -427,9 +439,10 @@ mod tests {
                 rounds: 2,
                 participants: 4,
                 bytes_exchanged: 6,
-                rejected: 8,
-                redistributed: 10,
-                warm_starts: 12,
+                bytes_redistributed: 8,
+                rejected: 10,
+                redistributed: 12,
+                warm_starts: 14,
             }
         );
     }

@@ -25,7 +25,9 @@
 //!   crashes, joins, and drains first-class fleet events. The [`learning`]
 //!   module turns the same barrier into a model-exchange point: learned
 //!   state is robustly aggregated and redistributed fleet-wide, and joiners
-//!   warm-start from the aggregate.
+//!   warm-start from the aggregate. The [`trust`] module watches that
+//!   exchange: per-node divergence from the consensus is scored every round,
+//!   and persistently poisoned nodes are excluded and drained.
 //!   Reports are byte-identical regardless of the worker-thread count.
 //! * [`SimRuntime`](sim::SimRuntime) — a typed single-agent wrapper over
 //!   `NodeRuntime`, used by the per-agent experiments. It reproduces the
@@ -50,6 +52,7 @@ pub mod sim;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod threaded;
+pub mod trust;
 #[doc(hidden)]
 pub mod wheel;
 

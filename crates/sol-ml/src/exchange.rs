@@ -194,6 +194,113 @@ impl LearnedState {
         }
         Ok(())
     }
+
+    /// Euclidean (L2) distance between `self` and `other`, the trust plane's
+    /// raw per-node divergence measure: how far one node's export sits from
+    /// the post-aggregation consensus, summed over every coordinate. Finite
+    /// inputs are guaranteed by construction, but a distance over huge
+    /// poisoned values can still overflow to `+∞` — callers treating the
+    /// distance as evidence should handle that as "maximally divergent"
+    /// rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`compatible_with`](Self::compatible_with) error when the
+    /// two states disagree in kind or shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sol_ml::exchange::{LearnedState, StateKind};
+    ///
+    /// let a = LearnedState::new(StateKind::QTable, vec![2], vec![0.0, 0.0]).unwrap();
+    /// let b = LearnedState::new(StateKind::QTable, vec![2], vec![3.0, 4.0]).unwrap();
+    /// assert_eq!(a.l2_distance(&b).unwrap(), 5.0);
+    /// ```
+    pub fn l2_distance(&self, other: &LearnedState) -> Result<f64, ExchangeError> {
+        self.compatible_with(other)?;
+        let sum: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        Ok(sum.sqrt())
+    }
+}
+
+/// Consistency factor relating the median absolute deviation to a standard
+/// deviation under normality (`1 / Φ⁻¹(3/4)`): scaling the MAD by this makes
+/// [`robust_z_scores`] read in "sigma" units, so thresholds carry familiar
+/// meaning while the estimate itself keeps the median's 50% breakdown point.
+pub const MAD_CONSISTENCY: f64 = 1.4826;
+
+/// Robust z-score of every value in `sample`, coordinate-wise against the
+/// sample itself: `(x − median) / max(MAD_CONSISTENCY · MAD, scale_floor)`,
+/// where the median and the MAD (median absolute deviation) are taken over
+/// the whole sample. Both medians reuse
+/// [`AggregationRule::CoordinateWiseMedian`] — including its even-count
+/// middle-pair averaging — so the trust plane's consensus math is exactly the
+/// aggregation math the robustness tests already pin down.
+///
+/// Unlike a classical z-score, a minority of arbitrarily corrupted values
+/// cannot mask itself: median and MAD ignore up to half the sample, so the
+/// honest majority sets the scale and outliers score high.
+///
+/// `scale_floor` guards against a *collapsed* honest spread. When at least
+/// half the sample is identical the MAD is zero, and without a floor any
+/// other value would score `±∞` — the right reading for hand-picked samples,
+/// but in a live fleet the spread routinely collapses for honest reasons
+/// (every node just imported the same redistributed aggregate), and callers
+/// should pass a floor in the caller's own units (e.g. a small fraction of
+/// the consensus magnitude) below which deviations are not worth
+/// normalizing. With `scale_floor = 0.0` the degenerate behaviour is
+/// deterministic: a value equal to the median scores `0.0` and any other
+/// value scores `±∞`. An empty sample yields an empty vector.
+///
+/// # Panics
+///
+/// Panics if `sample` contains NaN (the medians sort). `+∞`/`−∞` are
+/// tolerated and score themselves `±∞`.
+///
+/// # Examples
+///
+/// ```
+/// use sol_ml::exchange::robust_z_scores;
+///
+/// let z = robust_z_scores(&[1.0, 1.1, 0.9, 1.0, 100.0], 0.0);
+/// assert!(z[4] > 100.0); // the outlier is hundreds of MADs out
+/// assert!(z[0].abs() < 1.0); // the cluster scores near zero
+///
+/// // A collapsed spread with a floor: the dissenter scores in units of the
+/// // floor instead of ±∞.
+/// let z = robust_z_scores(&[2.0, 2.0, 2.0, 2.5], 0.1);
+/// assert_eq!(z, vec![0.0, 0.0, 0.0, 5.0]);
+/// ```
+pub fn robust_z_scores(sample: &[f64], scale_floor: f64) -> Vec<f64> {
+    if sample.is_empty() {
+        return Vec::new();
+    }
+    let median = AggregationRule::CoordinateWiseMedian.combine(&mut sample.to_vec());
+    let mut deviations: Vec<f64> = sample.iter().map(|x| (x - median).abs()).collect();
+    let mad = AggregationRule::CoordinateWiseMedian.combine(&mut deviations);
+    let scale = (MAD_CONSISTENCY * mad).max(scale_floor);
+    sample
+        .iter()
+        .map(|x| {
+            let deviation = x - median;
+            if deviation == 0.0 {
+                0.0
+            } else {
+                // scale == 0 divides to ±∞: maximal divergence from an
+                // otherwise perfectly agreed sample.
+                deviation / scale
+            }
+        })
+        .collect()
 }
 
 /// How a fleet combines one coordinate across peer states.
@@ -435,6 +542,60 @@ mod tests {
     fn byte_len_counts_f64_wire_size() {
         assert_eq!(state(vec![0.0; 7]).byte_len(), 56);
         assert!(state(vec![]).is_empty());
+    }
+
+    #[test]
+    fn l2_distance_is_euclidean_and_shape_checked() {
+        let origin = state(vec![0.0, 0.0, 0.0]);
+        let point = state(vec![2.0, 3.0, 6.0]);
+        assert_eq!(origin.l2_distance(&point).unwrap(), 7.0);
+        assert_eq!(point.l2_distance(&origin).unwrap(), 7.0);
+        assert_eq!(point.l2_distance(&point).unwrap(), 0.0);
+        let short = state(vec![1.0]);
+        assert!(matches!(
+            point.l2_distance(&short).unwrap_err(),
+            ExchangeError::ShapeMismatch { .. }
+        ));
+        let beta = LearnedState::new(StateKind::BetaPosteriors, vec![3], vec![1.0; 3]).unwrap();
+        assert!(matches!(
+            point.l2_distance(&beta).unwrap_err(),
+            ExchangeError::KindMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn robust_z_scores_flag_outliers_not_the_cluster() {
+        let z = robust_z_scores(&[1.0, 1.2, 0.8, 1.1, 0.9, 1000.0], 0.0);
+        assert!(z[5] > 100.0, "outlier must score far out, got {}", z[5]);
+        for &score in &z[..5] {
+            assert!(score.abs() <= 2.0, "cluster must stay near zero, got {score}");
+        }
+        // Signed: values below the median score negative.
+        assert!(z[2] < 0.0);
+    }
+
+    #[test]
+    fn robust_z_scores_survive_a_corrupted_minority() {
+        // Two of six values are absurd; a classical z-score's mean/stddev
+        // would be dragged along, the median/MAD pair is not.
+        let z = robust_z_scores(&[1.0, 1.1, 0.9, 1.0, 1e12, -1e12], 0.0);
+        assert!(z[4] > 1e9 && z[5] < -1e9);
+        assert!(z[0].abs() < 2.0 && z[1].abs() < 2.0);
+    }
+
+    #[test]
+    fn robust_z_scores_handle_degenerate_samples() {
+        assert!(robust_z_scores(&[], 0.0).is_empty());
+        assert_eq!(robust_z_scores(&[5.0], 0.0), vec![0.0]);
+        assert_eq!(robust_z_scores(&[3.0, 3.0, 3.0], 0.0), vec![0.0, 0.0, 0.0]);
+        // Zero MAD with a dissenter: the dissent is maximal divergence.
+        let z = robust_z_scores(&[2.0, 2.0, 2.0, 7.0], 0.0);
+        assert_eq!(z[..3], [0.0, 0.0, 0.0]);
+        assert_eq!(z[3], f64::INFINITY);
+        // The same dissent with a floor scores finitely, in floor units.
+        assert_eq!(robust_z_scores(&[2.0, 2.0, 2.0, 7.0], 0.5), vec![0.0, 0.0, 0.0, 10.0]);
+        // A healthy spread ignores a smaller floor entirely.
+        assert_eq!(robust_z_scores(&[1.0, 2.0, 3.0], 1e-6), robust_z_scores(&[1.0, 2.0, 3.0], 0.0));
     }
 
     #[test]

@@ -80,6 +80,11 @@ fn fleet_learning_example_runs() {
 }
 
 #[test]
+fn fleet_trust_example_runs() {
+    run_example("fleet_trust");
+}
+
+#[test]
 fn three_agents_example_runs() {
     run_example("three_agents");
 }

@@ -88,6 +88,44 @@ proptest! {
         }
     }
 
+    /// The k-clamp, pinned: once `n <= 2k`, [`AggregationRule::TrimmedMean`]
+    /// clamps `k` to `(n - 1) / 2` and degrades exactly — bit for bit — to
+    /// the coordinate-wise median (one surviving value for odd `n`, the
+    /// averaged middle pair for even `n`). The trust plane's consensus math
+    /// (`robust_z_scores`) leans on this: its median/MAD centre is the same
+    /// `CoordinateWiseMedian::combine` this property pins.
+    #[test]
+    fn trimmed_mean_degrades_to_the_median_when_k_saturates(
+        pool in proptest::collection::vec(-1e9f64..1e9, 1..12),
+        extra_k in 0usize..8,
+    ) {
+        let n = pool.len();
+        // Smallest k with n <= 2k, plus arbitrary slack: every such k must
+        // clamp to the same survivor set.
+        let k = n.div_ceil(2) + extra_k;
+        prop_assert!(n <= 2 * k);
+        let trimmed = AggregationRule::TrimmedMean { k }.combine(&mut pool.clone());
+        let median = AggregationRule::CoordinateWiseMedian.combine(&mut pool.clone());
+        prop_assert_eq!(trimmed, median);
+    }
+
+    /// Even-count medians average the two middle values and land between
+    /// them; no element of the sample below the lower middle or above the
+    /// upper one can move the result.
+    #[test]
+    fn even_count_median_averages_the_middle_pair(
+        pool in proptest::collection::vec(-1e9f64..1e9, 2..13),
+    ) {
+        let n = pool.len() & !1; // truncate to an even count (>= 2)
+        let mut column = pool[..n].to_vec();
+        let median = AggregationRule::CoordinateWiseMedian.combine(&mut column);
+        let mut sorted = pool[..n].to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (sorted[n / 2 - 1], sorted[n / 2]);
+        prop_assert_eq!(median, (lo + hi) / 2.0);
+        prop_assert!((lo..=hi).contains(&median), "median {} outside [{}, {}]", median, lo, hi);
+    }
+
     /// Robustness bound: with a minority of arbitrarily poisoned peers, the
     /// median stays within the honest value range.
     #[test]
